@@ -1,0 +1,98 @@
+//! Substrate micro-benchmarks: the cost of each pipeline stage — parse,
+//! trim, dependence analysis, static detection, dynamic simulation,
+//! tokenization, feature extraction — over representative kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SMALL: &str = r#"
+int a[1000];
+int main(void)
+{
+  int i;
+  for (int k = 0; k < 1000; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 999; i++)
+    a[i] = a[i + 1] + 1;
+  return 0;
+}
+"#;
+
+fn kernels() -> Vec<(&'static str, String)> {
+    let corpus = drb_gen::corpus();
+    vec![
+        ("antidep", SMALL.to_string()),
+        ("median_kernel", corpus[100].trimmed_code.clone()),
+        ("oversized", corpus.iter().find(|k| k.name.contains("oversized-unrolledinit-yes")).unwrap().trimmed_code.clone()),
+    ]
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for (name, src) in kernels() {
+        g.bench_with_input(BenchmarkId::new("lex", name), &src, |b, src| {
+            b.iter(|| black_box(minic::lexer::Lexer::tokenize(src).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("parse", name), &src, |b, src| {
+            b.iter(|| black_box(minic::parse(src).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("trim", name), &src, |b, src| {
+            b.iter(|| black_box(minic::trim_comments(src)))
+        });
+        g.bench_with_input(BenchmarkId::new("llm_tokenize", name), &src, |b, src| {
+            b.iter(|| black_box(llm::count_tokens(src)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyses");
+    for (name, src) in kernels() {
+        let unit = minic::parse(&src).unwrap();
+        g.bench_with_input(BenchmarkId::new("racecheck", name), &unit, |b, u| {
+            b.iter(|| black_box(racecheck::check(u)))
+        });
+        g.bench_with_input(BenchmarkId::new("features", name), &src, |b, s| {
+            b.iter(|| black_box(llm::CodeFeatures::extract(s)))
+        });
+    }
+    // Dynamic simulation only on the small kernel (the oversized one is
+    // dominated by its init loop).
+    let unit = minic::parse(SMALL).unwrap();
+    g.bench_function("hbsan_run_analyze", |b| {
+        b.iter(|| black_box(hbsan::check(&unit, &hbsan::Config::default()).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_corpus_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus_scale");
+    g.sample_size(10);
+    g.bench_function("static_sweep_201", |b| {
+        let corpus = drb_gen::corpus();
+        b.iter(|| {
+            let mut races = 0;
+            for k in corpus {
+                if racecheck::check_source(&k.trimmed_code).unwrap().has_race() {
+                    races += 1;
+                }
+            }
+            black_box(races)
+        })
+    });
+    g.bench_function("parallel_static_sweep_201", |b| {
+        let srcs: Vec<String> = drb_gen::corpus().iter().map(|k| k.trimmed_code.clone()).collect();
+        b.iter(|| {
+            let verdicts = eval::par_map(&srcs, eval::default_workers(), |s| {
+                racecheck::check_source(s).unwrap().has_race()
+            });
+            black_box(verdicts.iter().filter(|v| **v).count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_analyses, bench_corpus_scale);
+criterion_main!(benches);

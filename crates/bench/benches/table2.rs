@@ -1,0 +1,27 @@
+//! Table 2 regeneration benchmark: GPT-3.5-turbo with BP1/BP2 over the
+//! full 198-entry textual pipeline (prompt render → chat → parse →
+//! score).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    // Warm the corpus/dataset caches outside the timing loop.
+    let _ = drb_ml::Dataset::generate();
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let rows = eval::table2();
+            assert_eq!(rows.len(), 2);
+            black_box(rows)
+        })
+    });
+    g.finish();
+
+    // Print the table once so bench logs double as artifacts.
+    println!("{}", eval::format_detection_table("Table 2", &eval::table2()));
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

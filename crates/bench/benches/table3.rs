@@ -1,0 +1,34 @@
+//! Table 3 regeneration benchmark: the Inspector baseline plus four
+//! models × three prompts (13 rows × 198 kernels), the paper's core
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let _ = drb_ml::Dataset::generate();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("baseline_row", |b| {
+        let views = drb_ml::Dataset::generate().subset_views();
+        b.iter(|| black_box(eval::run_baseline(&views)))
+    });
+    g.bench_function("one_llm_row", |b| {
+        let views = drb_ml::Dataset::generate().subset_views();
+        let s = llm::Surrogate::new(llm::ModelKind::Gpt4, &views);
+        b.iter(|| black_box(eval::run_detection(&s, llm::PromptStrategy::P1, &views).0))
+    });
+    g.bench_function("regenerate_full", |b| {
+        b.iter(|| {
+            let rows = eval::table3();
+            assert_eq!(rows.len(), 13);
+            black_box(rows)
+        })
+    });
+    g.finish();
+
+    println!("{}", eval::format_detection_table("Table 3", &eval::table3()));
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

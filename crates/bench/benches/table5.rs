@@ -1,0 +1,29 @@
+//! Table 5 regeneration benchmark: variable identification across four
+//! models, including JSON/prose parsing of every response.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table5(c: &mut Criterion) {
+    let _ = drb_ml::Dataset::generate();
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("one_model_varid", |b| {
+        let views = drb_ml::Dataset::generate().subset_views();
+        let s = llm::Surrogate::new(llm::ModelKind::Gpt4, &views);
+        b.iter(|| black_box(eval::run_varid(&s, &views).0))
+    });
+    g.bench_function("regenerate_full", |b| {
+        b.iter(|| {
+            let rows = eval::table5();
+            assert_eq!(rows.len(), 4);
+            black_box(rows)
+        })
+    });
+    g.finish();
+
+    println!("{}", eval::format_detection_table("Table 5", &eval::table5()));
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

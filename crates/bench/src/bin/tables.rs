@@ -1,0 +1,154 @@
+//! Regenerate every table of the paper's evaluation section.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin tables              # all tables
+//!   cargo run --release -p bench --bin tables -- table3    # one table
+//!   cargo run --release -p bench --bin tables -- --json    # machine-readable
+
+use eval::{format_cv_table, format_detection_table};
+use llm::calibration::paper;
+
+fn print_table2() {
+    let rows = eval::table2();
+    println!(
+        "{}",
+        format_detection_table(
+            "Table 2 — GPT-3.5-turbo with basic prompts (paper Table 2)",
+            &rows
+        )
+    );
+    println!("Paper reference:");
+    for (p, tp, fp, tn, fn_, r, pr, f1) in paper::TABLE2 {
+        println!("  {p}: TP={tp} FP={fp} TN={tn} FN={fn_} R={r:.3} P={pr:.3} F1={f1:.3}");
+    }
+    println!();
+}
+
+fn print_table3() {
+    let rows = eval::table3();
+    println!(
+        "{}",
+        format_detection_table(
+            "Table 3 — traditional tool vs four LLMs × three prompts (paper Table 3)",
+            &rows
+        )
+    );
+    println!("Paper reference:");
+    for (m, p, tp, fp, tn, fn_, r, pr, f1) in paper::TABLE3 {
+        println!("  {m:4} {p:3}: TP={tp} FP={fp} TN={tn} FN={fn_} R={r:.3} P={pr:.3} F1={f1:.3}");
+    }
+    println!();
+}
+
+fn print_table4() {
+    let rows = eval::table4();
+    println!(
+        "{}",
+        format_cv_table("Table 4 — 5-fold CV detection ± fine-tuning (paper Table 4)", &rows)
+    );
+    println!("Paper reference:");
+    for (m, ar, sr, ap, sp, af, sf) in paper::TABLE4 {
+        println!("  {m:6}: R={ar:.3}±{sr:.3} P={ap:.3}±{sp:.3} F1={af:.3}±{sf:.3}");
+    }
+    println!();
+}
+
+fn print_table5() {
+    let rows = eval::table5();
+    println!(
+        "{}",
+        format_detection_table(
+            "Table 5 — variable identification, four LLMs (paper Table 5)",
+            &rows
+        )
+    );
+    println!("Paper reference:");
+    for (m, tp, fp, tn, fn_, r, pr, f1) in paper::TABLE5 {
+        println!("  {m:4}: TP={tp} FP={fp} TN={tn} FN={fn_} R={r:.3} P={pr:.3} F1={f1:.3}");
+    }
+    println!();
+}
+
+fn print_table6() {
+    let rows = eval::table6();
+    println!(
+        "{}",
+        format_cv_table(
+            "Table 6 — 5-fold CV variable identification ± fine-tuning (paper Table 6)",
+            &rows
+        )
+    );
+    println!("Paper reference:");
+    for (m, ar, sr, ap, sp, af, sf) in paper::TABLE6 {
+        println!("  {m:6}: R={ar:.3}±{sr:.3} P={ap:.3}±{sp:.3} F1={af:.3}±{sf:.3}");
+    }
+    println!();
+}
+
+fn print_json() {
+    let out = serde_json::json!({
+        "table2": eval::table2(),
+        "table3": eval::table3(),
+        "table4": eval::table4(),
+        "table5": eval::table5(),
+        "table6": eval::table6(),
+    });
+    println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+}
+
+fn write_out(dir: &str) {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let md = format!(
+        "{}\n{}\n{}\n{}\n{}\n",
+        format_detection_table("## Table 2", &eval::table2()),
+        format_detection_table("## Table 3", &eval::table3()),
+        format_cv_table("## Table 4", &eval::table4()),
+        format_detection_table("## Table 5", &eval::table5()),
+        format_cv_table("## Table 6", &eval::table6()),
+    );
+    std::fs::write(dir.join("tables.md"), md).expect("write tables.md");
+    let json = serde_json::json!({
+        "table2": eval::table2(),
+        "table3": eval::table3(),
+        "table4": eval::table4(),
+        "table5": eval::table5(),
+        "table6": eval::table6(),
+    });
+    std::fs::write(
+        dir.join("tables.json"),
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )
+    .expect("write tables.json");
+    println!("wrote {} and {}", dir.join("tables.md").display(), dir.join("tables.json").display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        let dir = args.get(pos + 1).map(String::as_str).unwrap_or("artifacts");
+        write_out(dir);
+        return;
+    }
+    if args.iter().any(|a| a == "--json") {
+        print_json();
+        return;
+    }
+    let which: Vec<&str> = args.iter().map(String::as_str).collect();
+    let all = which.is_empty();
+    if all || which.contains(&"table2") {
+        print_table2();
+    }
+    if all || which.contains(&"table3") {
+        print_table3();
+    }
+    if all || which.contains(&"table4") {
+        print_table4();
+    }
+    if all || which.contains(&"table5") {
+        print_table5();
+    }
+    if all || which.contains(&"table6") {
+        print_table6();
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark harness.
+
+/// Relative delta between a measured and a paper-reported value.
+pub fn rel_delta(measured: f64, paper: f64) -> f64 {
+    if paper == 0.0 {
+        measured.abs()
+    } else {
+        (measured - paper).abs() / paper.abs()
+    }
+}
+
+/// Pretty one-line comparison.
+pub fn compare_line(label: &str, measured: f64, paper: f64) -> String {
+    format!(
+        "{label}: measured {measured:.3} vs paper {paper:.3} (Δ {:+.3})",
+        measured - paper
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas() {
+        assert!((rel_delta(0.55, 0.5) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_delta(0.3, 0.0), 0.3);
+        assert!(compare_line("x", 0.5, 0.4).contains("+0.100"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Affine forms over loop variables.
+//!
+//! Array subscripts in DataRaceBench kernels are (almost always) affine:
+//! `a[i]`, `a[i+1]`, `a[2*i - 1]`, `b[j][i]`. An [`Affine`] is
+//! `c0 + Σ cᵥ·v` with integer coefficients over named variables; the
+//! dependence tests in [`crate::dtest`] operate on these forms, and
+//! anything non-affine degrades to [`Affine::opaque`], which the tests
+//! treat conservatively ("may depend").
+
+use minic::ast::{BinOp, Expr, UnOp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An affine integer form `constant + Σ coeff·var`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Affine {
+    /// Constant term.
+    pub constant: i64,
+    /// Per-variable coefficients (zero coefficients are never stored).
+    pub coeffs: BTreeMap<String, i64>,
+    /// True when the source expression could not be represented and this
+    /// form is a conservative stand-in.
+    pub opaque: bool,
+}
+
+impl Affine {
+    /// The constant form `c`.
+    pub fn constant(c: i64) -> Self {
+        Affine { constant: c, coeffs: BTreeMap::new(), opaque: false }
+    }
+
+    /// The form `1·v`.
+    pub fn var(v: impl Into<String>) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v.into(), 1);
+        Affine { constant: 0, coeffs, opaque: false }
+    }
+
+    /// A non-affine stand-in; all dependence tests must be conservative.
+    pub fn opaque() -> Self {
+        Affine { constant: 0, coeffs: BTreeMap::new(), opaque: true }
+    }
+
+    /// Coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: &str) -> i64 {
+        self.coeffs.get(v).copied().unwrap_or(0)
+    }
+
+    /// Whether the form mentions `v`.
+    pub fn mentions(&self, v: &str) -> bool {
+        self.coeff(v) != 0
+    }
+
+    /// Whether the form is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        !self.opaque && self.coeffs.is_empty()
+    }
+
+    /// Add another form.
+    pub fn add(&self, other: &Affine) -> Affine {
+        if self.opaque || other.opaque {
+            return Affine::opaque();
+        }
+        let mut out = self.clone();
+        out.constant = out.constant.wrapping_add(other.constant);
+        for (v, c) in &other.coeffs {
+            let e = out.coeffs.entry(v.clone()).or_insert(0);
+            *e = e.wrapping_add(*c);
+            if *e == 0 {
+                out.coeffs.remove(v);
+            }
+        }
+        out
+    }
+
+    /// Subtract another form.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&self, k: i64) -> Affine {
+        if self.opaque {
+            return Affine::opaque();
+        }
+        if k == 0 {
+            return Affine::constant(0);
+        }
+        let mut out = self.clone();
+        out.constant = out.constant.wrapping_mul(k);
+        for c in out.coeffs.values_mut() {
+            *c = c.wrapping_mul(k);
+        }
+        out
+    }
+
+    /// The form with variable `v` removed, together with `v`'s coefficient.
+    pub fn split_var(&self, v: &str) -> (i64, Affine) {
+        let mut rest = self.clone();
+        let c = rest.coeffs.remove(v).unwrap_or(0);
+        (c, rest)
+    }
+
+    /// Build an affine form from an expression. Non-affine constructs
+    /// (calls, subscripted subscripts, `%`, variable products…) yield
+    /// [`Affine::opaque`].
+    pub fn from_expr(e: &Expr) -> Affine {
+        match e {
+            Expr::IntLit { value, .. } => Affine::constant(*value),
+            Expr::Ident { name, .. } => Affine::var(name.clone()),
+            Expr::Unary { op: UnOp::Neg, expr, .. } => Affine::from_expr(expr).scale(-1),
+            Expr::Cast { expr, .. } => Affine::from_expr(expr),
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = Affine::from_expr(lhs);
+                let r = Affine::from_expr(rhs);
+                match op {
+                    BinOp::Add => l.add(&r),
+                    BinOp::Sub => l.sub(&r),
+                    BinOp::Mul => {
+                        if l.is_constant() {
+                            r.scale(l.constant)
+                        } else if r.is_constant() {
+                            l.scale(r.constant)
+                        } else {
+                            Affine::opaque()
+                        }
+                    }
+                    BinOp::Div => {
+                        // Exact constant division only.
+                        if r.is_constant()
+                            && r.constant != 0
+                            && l.is_constant()
+                            && l.constant % r.constant == 0
+                        {
+                            Affine::constant(l.constant / r.constant)
+                        } else {
+                            Affine::opaque()
+                        }
+                    }
+                    _ => {
+                        if l.is_constant() && r.is_constant() {
+                            e.const_int().map(Affine::constant).unwrap_or_else(Affine::opaque)
+                        } else {
+                            Affine::opaque()
+                        }
+                    }
+                }
+            }
+            _ => match e.const_int() {
+                Some(v) => Affine::constant(v),
+                None => Affine::opaque(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.opaque {
+            return write!(f, "<opaque>");
+        }
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if first {
+                match *c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    c => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else if *c >= 0 {
+                if *c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}*{v}")?;
+                }
+            } else if *c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}*{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parser::Parser;
+    use minic::lexer::Lexer;
+
+    fn affine(src: &str) -> Affine {
+        let toks = Lexer::tokenize(src).unwrap();
+        let mut p = Parser::new(toks);
+        let e = p.parse_expr().unwrap();
+        Affine::from_expr(&e)
+    }
+
+    #[test]
+    fn builds_simple_forms() {
+        assert_eq!(affine("42"), Affine::constant(42));
+        assert_eq!(affine("i"), Affine::var("i"));
+        let f = affine("2*i + 3");
+        assert_eq!(f.coeff("i"), 2);
+        assert_eq!(f.constant, 3);
+    }
+
+    #[test]
+    fn handles_subtraction_and_negation() {
+        let f = affine("i - j - 1");
+        assert_eq!(f.coeff("i"), 1);
+        assert_eq!(f.coeff("j"), -1);
+        assert_eq!(f.constant, -1);
+        assert_eq!(affine("-i").coeff("i"), -1);
+    }
+
+    #[test]
+    fn cancels_terms() {
+        let f = affine("i + 1 - i");
+        assert!(f.is_constant());
+        assert_eq!(f.constant, 1);
+    }
+
+    #[test]
+    fn nonaffine_is_opaque() {
+        assert!(affine("i * j").opaque);
+        assert!(affine("i % 2").opaque);
+        assert!(affine("f(i)").opaque);
+        assert!(affine("a[i]").opaque);
+    }
+
+    #[test]
+    fn constant_folding_within_affine() {
+        let f = affine("3 * (i + 2)");
+        assert_eq!(f.coeff("i"), 3);
+        assert_eq!(f.constant, 6);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(affine("2*i + 3").to_string(), "2*i + 3");
+        assert_eq!(affine("i - 1").to_string(), "i - 1");
+        assert_eq!(affine("0").to_string(), "0");
+        assert_eq!(affine("-i").to_string(), "-i");
+    }
+
+    #[test]
+    fn split_var() {
+        let (c, rest) = affine("2*i + j + 5").split_var("i");
+        assert_eq!(c, 2);
+        assert_eq!(rest.coeff("j"), 1);
+        assert_eq!(rest.constant, 5);
+        assert!(!rest.mentions("i"));
+    }
+}

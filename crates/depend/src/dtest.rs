@@ -1,0 +1,316 @@
+//! Dependence decision procedures: GCD and Banerjee tests.
+//!
+//! Given two affine subscripts `f(i) = a₁·i + r₁` and `g(i) = a₂·i + r₂`
+//! of the same array under loop variable `i`, decide whether iterations
+//! `i₁, i₂` exist with `f(i₁) = g(i₂)` — and if so, whether the solution
+//! is loop-carried (`i₁ ≠ i₂`) and at what distance.
+
+use crate::affine::Affine;
+use serde::{Deserialize, Serialize};
+
+/// Normalized loop bounds: `i` ranges over `[lb, ub)` stepping by `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopBounds {
+    /// Inclusive lower bound, when statically known.
+    pub lb: Option<i64>,
+    /// Exclusive upper bound, when statically known.
+    pub ub: Option<i64>,
+    /// Loop step (defaults to 1).
+    pub step: i64,
+}
+
+impl LoopBounds {
+    /// Bounds with nothing known (step 1).
+    pub fn unknown() -> Self {
+        LoopBounds { lb: None, ub: None, step: 1 }
+    }
+
+    /// Fully-known bounds.
+    pub fn known(lb: i64, ub: i64, step: i64) -> Self {
+        LoopBounds { lb: Some(lb), ub: Some(ub), step }
+    }
+
+    /// Trip count, when both bounds are known. Bounds are normalized
+    /// (`lb` is the smallest touched value), so a negative step walks the
+    /// same |step|-spaced lattice in the other direction.
+    pub fn trip_count(&self) -> Option<i64> {
+        let stride = self.step.unsigned_abs() as i64;
+        match (self.lb, self.ub) {
+            (Some(lb), Some(ub)) if stride > 0 && ub > lb => {
+                Some((ub - lb + stride - 1) / stride)
+            }
+            (Some(_), Some(_)) => Some(0),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a dependence test on one subscript pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DepResult {
+    /// Proven: no pair of iterations touches the same element.
+    Independent,
+    /// Proven or assumed dependence with a known constant distance
+    /// (`i₂ = i₁ + distance` at the conflict). Distance 0 means the
+    /// conflict is within one iteration (loop-independent).
+    Distance(i64),
+    /// Dependence possible but distance unknown (distinct coefficients,
+    /// symbolic terms, or opaque subscripts).
+    Unknown,
+}
+
+impl DepResult {
+    /// Whether this result admits a loop-carried dependence.
+    pub fn may_be_carried(&self) -> bool {
+        match self {
+            DepResult::Independent => false,
+            DepResult::Distance(d) => *d != 0,
+            DepResult::Unknown => true,
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Test one subscript dimension pair under loop variable `var`.
+///
+/// `f` is the subscript of the first access (at iteration `i₁`), `g` of
+/// the second (at iteration `i₂`). Solves `a₁·i₁ + r₁ = a₂·i₂ + r₂`.
+pub fn subscript_test(f: &Affine, g: &Affine, var: &str, bounds: &LoopBounds) -> DepResult {
+    if f.opaque || g.opaque {
+        return DepResult::Unknown;
+    }
+    let (a1, r1) = f.split_var(var);
+    let (a2, r2) = g.split_var(var);
+    // The residues must agree on every symbolic variable for us to reason
+    // about the constant gap; otherwise the gap is symbolic.
+    let gap = r2.sub(&r1);
+    if !gap.coeffs.is_empty() {
+        return DepResult::Unknown;
+    }
+    let c = gap.constant; // a1*i1 - a2*i2 = c
+
+    if a1 == 0 && a2 == 0 {
+        // Neither subscript varies with the loop: same element iff c == 0,
+        // and then every iteration pair conflicts (unknown distance).
+        return if c == 0 { DepResult::Unknown } else { DepResult::Independent };
+    }
+
+    // GCD test.
+    let g0 = gcd(a1, a2);
+    if g0 != 0 && c % g0 != 0 {
+        return DepResult::Independent;
+    }
+
+    if a1 == a2 {
+        // Equal coefficients: a·(i1 - i2) = c → constant distance.
+        let a = a1;
+        debug_assert!(a != 0);
+        if c % a != 0 {
+            return DepResult::Independent;
+        }
+        // i1 = i2 + c/a, i.e. the second access at iteration i2 touches
+        // what the first touched at i2 + c/a. Normalize distance to
+        // "iterations from first to second": i2 - i1 = -c/a.
+        let distance = -c / a;
+        // Banerjee-style bounds pruning: the distance must fit inside the
+        // iteration space, and must be a multiple of the step in
+        // iteration-index terms.
+        if let Some(tc) = bounds.trip_count() {
+            if distance.abs() >= tc.max(0) {
+                return DepResult::Independent;
+            }
+        }
+        let stride = bounds.step.unsigned_abs() as i64;
+        if stride > 1 && distance % stride != 0 {
+            return DepResult::Independent;
+        }
+        return DepResult::Distance(distance / stride.max(1));
+    }
+
+    // Distinct coefficients: Banerjee bounds check when the loop range is
+    // known; otherwise conservatively unknown.
+    if let (Some(lb), Some(ub)) = (bounds.lb, bounds.ub) {
+        if ub <= lb {
+            return DepResult::Independent;
+        }
+        let hi = ub - 1;
+        // min/max of a1*i1 - a2*i2 over i1, i2 ∈ [lb, hi].
+        let term_min = |a: i64| if a >= 0 { a * lb } else { a * hi };
+        let term_max = |a: i64| if a >= 0 { a * hi } else { a * lb };
+        let min = term_min(a1) - term_max(a2);
+        let max = term_max(a1) - term_min(a2);
+        if c < min || c > max {
+            return DepResult::Independent;
+        }
+    }
+    DepResult::Unknown
+}
+
+/// Test a full (multi-dimensional) subscript pair: dependence requires a
+/// simultaneous solution in every dimension.
+pub fn subscripts_test(
+    f: &[Affine],
+    g: &[Affine],
+    var: &str,
+    bounds: &LoopBounds,
+) -> DepResult {
+    if f.len() != g.len() || f.is_empty() {
+        // Dimension mismatch (or scalars handed to the array test):
+        // be conservative.
+        return DepResult::Unknown;
+    }
+    let mut distance: Option<i64> = None;
+    let mut any_unknown = false;
+    for (fd, gd) in f.iter().zip(g) {
+        match subscript_test(fd, gd, var, bounds) {
+            DepResult::Independent => return DepResult::Independent,
+            DepResult::Distance(d) => match distance {
+                None => distance = Some(d),
+                Some(prev) if prev != d => {
+                    // Dimensions demand inconsistent distances → no
+                    // simultaneous solution.
+                    return DepResult::Independent;
+                }
+                Some(_) => {}
+            },
+            DepResult::Unknown => any_unknown = true,
+        }
+    }
+    // A dimension with a pinned distance constrains every solution: if
+    // dim k forces i₂ = i₁ + d, the unknown dimensions can only add or
+    // remove solutions *at that distance* — they cannot move it. So a
+    // known distance wins over Unknown siblings (conservatively assuming
+    // the unknown dimensions do have a solution there).
+    match (distance, any_unknown) {
+        (Some(d), _) => DepResult::Distance(d),
+        (None, _) => DepResult::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn av(v: &str) -> Affine {
+        Affine::var(v)
+    }
+
+    fn a_plus(v: &str, c: i64) -> Affine {
+        Affine::var(v).add(&Affine::constant(c))
+    }
+
+    #[test]
+    fn identical_subscripts_distance_zero() {
+        let b = LoopBounds::known(0, 100, 1);
+        assert_eq!(subscript_test(&av("i"), &av("i"), "i", &b), DepResult::Distance(0));
+    }
+
+    #[test]
+    fn anti_dependence_distance_one() {
+        // a[i] (write) vs a[i+1] (read): f = i, g = i + 1.
+        let b = LoopBounds::known(0, 100, 1);
+        let r = subscript_test(&av("i"), &a_plus("i", 1), "i", &b);
+        assert_eq!(r, DepResult::Distance(-1));
+        assert!(r.may_be_carried());
+    }
+
+    #[test]
+    fn gcd_proves_independence() {
+        // a[2*i] vs a[2*i + 1]: parity differs.
+        let f = Affine::var("i").scale(2);
+        let g = Affine::var("i").scale(2).add(&Affine::constant(1));
+        let b = LoopBounds::known(0, 100, 1);
+        assert_eq!(subscript_test(&f, &g, "i", &b), DepResult::Independent);
+    }
+
+    #[test]
+    fn distance_beyond_trip_count_is_independent() {
+        let b = LoopBounds::known(0, 4, 1);
+        assert_eq!(subscript_test(&av("i"), &a_plus("i", 10), "i", &b), DepResult::Independent);
+    }
+
+    #[test]
+    fn banerjee_prunes_disjoint_ranges() {
+        // a[i] vs a[i2 + 200] with i ∈ [0, 100): c = 200 out of range.
+        let b = LoopBounds::known(0, 100, 1);
+        assert_eq!(
+            subscript_test(&av("i"), &a_plus("i", 200), "i", &b),
+            DepResult::Independent
+        );
+    }
+
+    #[test]
+    fn distinct_coefficients_in_range_unknown() {
+        // a[i] vs a[2*i]: dependent at i=0 etc., distance varies.
+        let b = LoopBounds::known(0, 100, 1);
+        let r = subscript_test(&av("i"), &Affine::var("i").scale(2), "i", &b);
+        assert_eq!(r, DepResult::Unknown);
+    }
+
+    #[test]
+    fn loop_invariant_same_constant_conflicts() {
+        let b = LoopBounds::known(0, 100, 1);
+        let r = subscript_test(&Affine::constant(5), &Affine::constant(5), "i", &b);
+        assert_eq!(r, DepResult::Unknown);
+        assert!(r.may_be_carried());
+        assert_eq!(
+            subscript_test(&Affine::constant(5), &Affine::constant(6), "i", &b),
+            DepResult::Independent
+        );
+    }
+
+    #[test]
+    fn symbolic_gap_is_unknown() {
+        // a[i] vs a[i + n] — n symbolic.
+        let b = LoopBounds::known(0, 100, 1);
+        let g = Affine::var("i").add(&Affine::var("n"));
+        assert_eq!(subscript_test(&av("i"), &g, "i", &b), DepResult::Unknown);
+    }
+
+    #[test]
+    fn opaque_is_unknown() {
+        let b = LoopBounds::unknown();
+        assert_eq!(subscript_test(&Affine::opaque(), &av("i"), "i", &b), DepResult::Unknown);
+    }
+
+    #[test]
+    fn multidim_inconsistent_distances_independent() {
+        // b[i][i] vs b[i][i+1]: dim0 wants distance 0, dim1 wants -1.
+        let b = LoopBounds::known(0, 10, 1);
+        let f = vec![av("i"), av("i")];
+        let g = vec![av("i"), a_plus("i", 1)];
+        assert_eq!(subscripts_test(&f, &g, "i", &b), DepResult::Independent);
+    }
+
+    #[test]
+    fn multidim_consistent_distance() {
+        let b = LoopBounds::known(0, 10, 1);
+        let f = vec![av("i"), a_plus("i", 1)];
+        let g = vec![a_plus("i", 1), a_plus("i", 2)];
+        assert_eq!(subscripts_test(&f, &g, "i", &b), DepResult::Distance(-1));
+    }
+
+    #[test]
+    fn strided_loop_distance() {
+        // Loop with step 2: a[i] vs a[i+2] → one iteration apart.
+        let b = LoopBounds::known(0, 100, 2);
+        assert_eq!(subscript_test(&av("i"), &a_plus("i", 2), "i", &b), DepResult::Distance(-1));
+        // a[i] vs a[i+1] under step 2: offset not a multiple of step.
+        assert_eq!(subscript_test(&av("i"), &a_plus("i", 1), "i", &b), DepResult::Independent);
+    }
+
+    #[test]
+    fn trip_count_math() {
+        assert_eq!(LoopBounds::known(0, 10, 1).trip_count(), Some(10));
+        assert_eq!(LoopBounds::known(0, 10, 3).trip_count(), Some(4));
+        assert_eq!(LoopBounds::known(5, 5, 1).trip_count(), Some(0));
+        assert_eq!(LoopBounds::unknown().trip_count(), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: the dependence decision procedures must be *sound* —
+//! whenever GCD/Banerjee says Independent, brute-force enumeration over
+//! the iteration space finds no colliding pair; and constant distances
+//! must be exactly the distances observed.
+
+use depend::affine::Affine;
+use depend::dtest::{subscript_test, DepResult, LoopBounds};
+use proptest::prelude::*;
+
+fn affine(a: i64, c: i64) -> Affine {
+    Affine::var("i").scale(a).add(&Affine::constant(c))
+}
+
+fn eval(a: i64, c: i64, i: i64) -> i64 {
+    a * i + c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn independent_is_sound(
+        a1 in -4i64..5, c1 in -8i64..9,
+        a2 in -4i64..5, c2 in -8i64..9,
+        lb in 0i64..4, len in 1i64..24,
+    ) {
+        let bounds = LoopBounds::known(lb, lb + len, 1);
+        let f = affine(a1, c1);
+        let g = affine(a2, c2);
+        match subscript_test(&f, &g, "i", &bounds) {
+            DepResult::Independent => {
+                for i1 in lb..lb + len {
+                    for i2 in lb..lb + len {
+                        prop_assert_ne!(
+                            eval(a1, c1, i1), eval(a2, c2, i2),
+                            "claimed independent but {}≡{} at i1={} i2={}",
+                            eval(a1, c1, i1), eval(a2, c2, i2), i1, i2
+                        );
+                    }
+                }
+            }
+            DepResult::Distance(d) => {
+                // Every collision must sit at exactly distance d.
+                for i1 in lb..lb + len {
+                    for i2 in lb..lb + len {
+                        if eval(a1, c1, i1) == eval(a2, c2, i2) {
+                            prop_assert_eq!(i2 - i1, d, "collision at wrong distance");
+                        }
+                    }
+                }
+            }
+            DepResult::Unknown => {} // conservative is always allowed
+        }
+    }
+
+    #[test]
+    fn test_is_symmetric_on_independence(
+        a1 in -4i64..5, c1 in -8i64..9,
+        a2 in -4i64..5, c2 in -8i64..9,
+    ) {
+        let bounds = LoopBounds::known(0, 16, 1);
+        let f = affine(a1, c1);
+        let g = affine(a2, c2);
+        let fwd = subscript_test(&f, &g, "i", &bounds);
+        let bwd = subscript_test(&g, &f, "i", &bounds);
+        prop_assert_eq!(
+            matches!(fwd, DepResult::Independent),
+            matches!(bwd, DepResult::Independent)
+        );
+        if let (DepResult::Distance(d1), DepResult::Distance(d2)) = (fwd, bwd) {
+            prop_assert_eq!(d1, -d2, "distances must negate under swap");
+        }
+    }
+
+    #[test]
+    fn affine_add_commutes(
+        a in -10i64..10, b in -10i64..10, c in -10i64..10, d in -10i64..10
+    ) {
+        let x = affine(a, b);
+        let y = affine(c, d);
+        prop_assert_eq!(x.add(&y), y.add(&x));
+    }
+
+    #[test]
+    fn affine_scale_distributes(
+        a in -10i64..10, b in -10i64..10, k in -5i64..6
+    ) {
+        let x = affine(a, b);
+        let y = Affine::var("j").add(&Affine::constant(3));
+        prop_assert_eq!(x.add(&y).scale(k), x.scale(k).add(&y.scale(k)));
+    }
+
+    #[test]
+    fn sub_then_add_is_identity(a in -10i64..10, b in -10i64..10) {
+        let x = affine(a, b);
+        let y = Affine::var("n").scale(2);
+        prop_assert_eq!(x.sub(&y).add(&y), x);
+    }
+
+    #[test]
+    fn identical_subscripts_always_distance_zero_or_unknown(
+        a in -4i64..5, c in -8i64..9
+    ) {
+        let bounds = LoopBounds::known(0, 32, 1);
+        let f = affine(a, c);
+        match subscript_test(&f, &f, "i", &bounds) {
+            DepResult::Distance(d) => prop_assert_eq!(d, 0),
+            DepResult::Unknown => prop_assert_eq!(a, 0, "only invariant forms are unknown"),
+            DepResult::Independent => prop_assert!(false, "same subscript cannot be independent"),
+        }
+    }
+
+    #[test]
+    fn trip_count_counts(lb in -10i64..10, len in 0i64..40, step in 1i64..5) {
+        let b = LoopBounds::known(lb, lb + len, step);
+        let expected = (lb..lb + len).step_by(step as usize).count() as i64;
+        prop_assert_eq!(b.trip_count(), Some(expected));
+    }
+}

@@ -1,0 +1,431 @@
+//! Label-preserving corpus augmentation (paper §5: "expanding DRB-ML to
+//! include more data items using data scraping and augmentation
+//! techniques").
+//!
+//! Three mutators, all verified label-preserving:
+//!
+//! * **α-rename** — consistently rename every program variable; racy
+//!   pairs are remapped by access-index correspondence (the AST shape is
+//!   unchanged, so access *k* of the mutant is access *k* of the
+//!   original).
+//! * **reformat** — re-print the AST through the canonical printer
+//!   (whitespace/layout changes); labels re-resolved the same way.
+//! * **comment noise** — inject decoy comments into the raw code; the
+//!   trimmed code (which labels refer to) is untouched.
+
+use crate::spec::{Kernel, VarPair};
+use minic::ast::*;
+use minic::pragma::{Clause, DirectiveKind};
+use std::collections::HashMap;
+
+/// Deterministic mixer for augmentation choices.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Names that must never be renamed.
+fn is_reserved(name: &str) -> bool {
+    name.starts_with("omp_")
+        || matches!(name, "main" | "printf" | "malloc" | "calloc" | "free" | "argc" | "argv")
+}
+
+/// Collect every renameable variable in declaration order.
+fn collect_names(unit: &TranslationUnit) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut push = |n: &str| {
+        if !is_reserved(n) && !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    fn stmt(s: &Stmt, push: &mut dyn FnMut(&str)) {
+        match s {
+            Stmt::Decl(d) => {
+                for v in &d.vars {
+                    push(&v.name);
+                }
+            }
+            Stmt::Block(b) => b.stmts.iter().for_each(|s| stmt(s, push)),
+            Stmt::If { then, els, .. } => {
+                stmt(then, push);
+                if let Some(e) = els {
+                    stmt(e, push);
+                }
+            }
+            Stmt::For(f) => {
+                if let ForInit::Decl(d) = &f.init {
+                    for v in &d.vars {
+                        push(&v.name);
+                    }
+                }
+                stmt(&f.body, push);
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => stmt(body, push),
+            Stmt::Omp { body: Some(b), .. } => stmt(b, push),
+            _ => {}
+        }
+    }
+    for item in &unit.items {
+        match item {
+            Item::Global(d) => {
+                for v in &d.vars {
+                    push(&v.name);
+                }
+            }
+            Item::Func(f) => {
+                for p in &f.params {
+                    push(&p.name);
+                }
+                f.body.stmts.iter().for_each(|s| stmt(s, &mut push));
+            }
+            Item::Pragma(_) => {}
+        }
+    }
+    names
+}
+
+/// Apply a rename map everywhere a variable name can occur.
+fn rename_unit(unit: &mut TranslationUnit, map: &HashMap<String, String>) {
+    let ren = |n: &mut String| {
+        if let Some(new) = map.get(n.as_str()) {
+            *n = new.clone();
+        }
+    };
+    fn expr(e: &mut Expr, map: &HashMap<String, String>) {
+        match e {
+            Expr::Ident { name, .. } => {
+                if let Some(n) = map.get(name.as_str()) {
+                    *name = n.clone();
+                }
+            }
+            Expr::Index { base, index, .. } => {
+                expr(base, map);
+                expr(index, map);
+            }
+            Expr::Call { args, .. } => args.iter_mut().for_each(|a| expr(a, map)),
+            Expr::Unary { expr: x, .. } | Expr::Cast { expr: x, .. } | Expr::IncDec { expr: x, .. } => {
+                expr(x, map)
+            }
+            Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+                expr(lhs, map);
+                expr(rhs, map);
+            }
+            Expr::Cond { cond, then, els, .. } => {
+                expr(cond, map);
+                expr(then, map);
+                expr(els, map);
+            }
+            _ => {}
+        }
+    }
+    fn decl(d: &mut Decl, map: &HashMap<String, String>) {
+        for v in &mut d.vars {
+            if let Some(n) = map.get(v.name.as_str()) {
+                v.name = n.clone();
+            }
+            for dim in v.ty.dims.iter_mut().flatten() {
+                expr(dim, map);
+            }
+            match &mut v.init {
+                Some(Init::Expr(e)) => expr(e, map),
+                Some(Init::List(es)) => es.iter_mut().for_each(|e| expr(e, map)),
+                None => {}
+            }
+        }
+    }
+    fn clause_names(c: &mut Clause, map: &HashMap<String, String>) {
+        let lists: &mut Vec<String> = match c {
+            Clause::Private(v)
+            | Clause::Firstprivate(v)
+            | Clause::Lastprivate(v)
+            | Clause::Shared(v)
+            | Clause::Linear(v) => v,
+            Clause::Reduction(_, v) => v,
+            Clause::Depend(_, v) => v,
+            Clause::Schedule(_, Some(e)) => {
+                expr(e, map);
+                return;
+            }
+            Clause::NumThreads(e) | Clause::If(e) => {
+                expr(e, map);
+                return;
+            }
+            _ => return,
+        };
+        for n in lists {
+            if let Some(new) = map.get(n.as_str()) {
+                *n = new.clone();
+            }
+        }
+    }
+    fn stmt(s: &mut Stmt, map: &HashMap<String, String>) {
+        match s {
+            Stmt::Decl(d) => decl(d, map),
+            Stmt::Expr(e) => expr(e, map),
+            Stmt::Block(b) => b.stmts.iter_mut().for_each(|s| stmt(s, map)),
+            Stmt::If { cond, then, els, .. } => {
+                expr(cond, map);
+                stmt(then, map);
+                if let Some(e) = els {
+                    stmt(e, map);
+                }
+            }
+            Stmt::For(f) => {
+                match &mut f.init {
+                    ForInit::Decl(d) => decl(d, map),
+                    ForInit::Expr(e) => expr(e, map),
+                    ForInit::Empty => {}
+                }
+                if let Some(c) = &mut f.cond {
+                    expr(c, map);
+                }
+                if let Some(st) = &mut f.step {
+                    expr(st, map);
+                }
+                stmt(&mut f.body, map);
+            }
+            Stmt::While { cond, body, .. } => {
+                expr(cond, map);
+                stmt(body, map);
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                stmt(body, map);
+                expr(cond, map);
+            }
+            Stmt::Return(Some(e), _) => expr(e, map),
+            Stmt::Omp { dir, body, .. } => {
+                for c in &mut dir.clauses {
+                    clause_names(c, map);
+                }
+                if let DirectiveKind::Threadprivate(vs) | DirectiveKind::Flush(vs) = &mut dir.kind
+                {
+                    for n in vs {
+                        if let Some(new) = map.get(n.as_str()) {
+                            *n = new.clone();
+                        }
+                    }
+                }
+                if let Some(b) = body {
+                    stmt(b, map);
+                }
+            }
+            _ => {}
+        }
+    }
+    for item in &mut unit.items {
+        match item {
+            Item::Global(d) => decl(d, map),
+            Item::Func(f) => {
+                for p in &mut f.params {
+                    ren(&mut p.name);
+                }
+                f.body.stmts.iter_mut().for_each(|s| stmt(s, map));
+            }
+            Item::Pragma(d) => {
+                if let DirectiveKind::Threadprivate(vs) = &mut d.kind {
+                    for n in vs {
+                        if let Some(new) = map.get(n.as_str()) {
+                            *n = new.clone();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Remap the kernel's racy pairs onto a structurally-identical mutant by
+/// access-index correspondence.
+fn remap_pairs(orig_code: &str, orig_pairs: &[VarPair], new_code: &str) -> Option<Vec<VarPair>> {
+    let collect = |code: &str| -> Option<Vec<depend::Access>> {
+        let u = minic::parse(code).ok()?;
+        let mut out = Vec::new();
+        for item in &u.items {
+            if let Item::Func(f) = item {
+                out.extend(depend::accesses_of_block(&f.body));
+            }
+        }
+        Some(out)
+    };
+    let old = collect(orig_code)?;
+    let new = collect(new_code)?;
+    if old.len() != new.len() {
+        return None;
+    }
+    let index_of = |text: &str, line: u32, col: u32| {
+        old.iter()
+            .position(|a| a.text == text && a.span.line() == line && a.span.col() == col)
+    };
+    let mut pairs = Vec::with_capacity(orig_pairs.len());
+    for p in orig_pairs {
+        let i0 = index_of(&p.names.0, p.lines.0, p.cols.0)?;
+        let i1 = index_of(&p.names.1, p.lines.1, p.cols.1)?;
+        let (a, b) = (&new[i0], &new[i1]);
+        pairs.push(VarPair {
+            names: (a.text.clone(), b.text.clone()),
+            lines: (a.span.line(), b.span.line()),
+            cols: (a.span.col(), b.span.col()),
+            ops: p.ops,
+        });
+    }
+    Some(pairs)
+}
+
+/// One augmentation flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// α-rename every variable.
+    Rename,
+    /// Re-print through the canonical printer.
+    Reformat,
+    /// Inject decoy comments into the raw code (trimmed code untouched).
+    CommentNoise,
+}
+
+impl Mutation {
+    /// All flavours.
+    pub const ALL: [Mutation; 3] = [Mutation::Rename, Mutation::Reformat, Mutation::CommentNoise];
+}
+
+/// Apply one mutation, producing a new kernel with remapped labels, or
+/// `None` when the mutation cannot preserve labels for this kernel.
+pub fn mutate(k: &Kernel, m: Mutation, seed: u64) -> Option<Kernel> {
+    match m {
+        Mutation::CommentNoise => {
+            let decoys = [
+                "// TODO: tune the chunk size",
+                "/* reviewed: looks fine */",
+                "// NB: hot loop",
+                "/* do not reorder */",
+            ];
+            let mut out = String::new();
+            for (i, line) in k.code.lines().enumerate() {
+                out.push_str(line);
+                out.push('\n');
+                if mix(seed, i as u64) % 5 == 0 {
+                    out.push_str(decoys[(mix(seed, i as u64 + 1000) % 4) as usize]);
+                    out.push('\n');
+                }
+            }
+            let trimmed = minic::trim_comments(&out);
+            // Labels refer to trimmed code, which must be unchanged.
+            if trimmed.code != k.trimmed_code {
+                return None;
+            }
+            Some(Kernel {
+                name: k.name.replace(".c", "-aug-comments.c"),
+                code: out,
+                ..k.clone()
+            })
+        }
+        Mutation::Reformat => {
+            let unit = minic::parse(&k.trimmed_code).ok()?;
+            let printed = minic::print_unit(&unit);
+            let trimmed = minic::trim_comments(&printed);
+            let pairs = remap_pairs(&k.trimmed_code, &k.pairs, &trimmed.code)?;
+            Some(Kernel {
+                name: k.name.replace(".c", "-aug-reformat.c"),
+                code: printed.clone(),
+                trimmed_code: trimmed.code,
+                pairs,
+                ..k.clone()
+            })
+        }
+        Mutation::Rename => {
+            let mut unit = minic::parse(&k.trimmed_code).ok()?;
+            let names = collect_names(&unit);
+            let map: HashMap<String, String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    (n.clone(), format!("v{}_{n}", mix(seed, i as u64) % 97))
+                })
+                .collect();
+            rename_unit(&mut unit, &map);
+            let printed = minic::print_unit(&unit);
+            let trimmed = minic::trim_comments(&printed);
+            // Reparse to be sure the mutant is still valid.
+            minic::parse(&trimmed.code).ok()?;
+            let pairs = remap_pairs(&k.trimmed_code, &k.pairs, &trimmed.code)?;
+            Some(Kernel {
+                name: k.name.replace(".c", "-aug-rename.c"),
+                code: printed.clone(),
+                trimmed_code: trimmed.code,
+                pairs,
+                ..k.clone()
+            })
+        }
+    }
+}
+
+/// Expand a kernel into up to three label-preserving variants.
+pub fn augment(k: &Kernel, seed: u64) -> Vec<Kernel> {
+    Mutation::ALL.iter().filter_map(|m| mutate(k, *m, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn rename_preserves_race_and_remaps_pairs() {
+        let k = corpus::corpus().iter().find(|k| k.race).unwrap();
+        let m = mutate(k, Mutation::Rename, 42).expect("renameable");
+        assert_ne!(m.trimmed_code, k.trimmed_code);
+        assert_eq!(m.pairs.len(), k.pairs.len());
+        // The renamed pair text exists in the mutant code.
+        let root: String = m.pairs[0]
+            .names
+            .0
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        assert!(m.trimmed_code.contains(&root), "{root} not in mutant");
+    }
+
+    #[test]
+    fn comment_noise_keeps_trimmed_code() {
+        let k = &corpus::corpus()[0];
+        let m = mutate(k, Mutation::CommentNoise, 7).expect("comment noise applies");
+        assert_eq!(m.trimmed_code, k.trimmed_code);
+        assert_ne!(m.code, k.code);
+        assert_eq!(m.pairs, k.pairs);
+    }
+
+    #[test]
+    fn reformat_reresolves_lines() {
+        let k = corpus::corpus().iter().find(|k| k.race).unwrap();
+        let m = mutate(k, Mutation::Reformat, 1).expect("reformat applies");
+        // Pair lines point into the reformatted text.
+        let lines: Vec<&str> = m.trimmed_code.lines().collect();
+        for p in &m.pairs {
+            assert!((p.lines.0 as usize) <= lines.len());
+        }
+    }
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        let k = &corpus::corpus()[2];
+        let a = augment(k, 9);
+        let b = augment(k, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trimmed_code, y.trimmed_code);
+        }
+    }
+
+    #[test]
+    fn corpus_augments_broadly() {
+        let mut produced = 0;
+        for k in corpus::corpus().iter().step_by(7) {
+            produced += augment(k, 13).len();
+        }
+        // At least two mutants per sampled kernel on average.
+        assert!(produced >= corpus::corpus().iter().step_by(7).count() * 2, "{produced}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Adversarial kernels: pointer aliasing, interprocedural patterns,
+//! symbolic bounds, control-dependent races. These are the kernels that
+//! keep the traditional baseline imperfect (paper Table 3: Inspector has
+//! 44 FPs and 11 FNs on DataRaceBench).
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec, ToolBehavior};
+
+fn sp(a: (&str, Op, usize), b: (&str, Op, usize)) -> PairSpec {
+    PairSpec { first: SideSpec::nth(a.0, a.1, a.2), second: SideSpec::nth(b.0, b.1, b.2) }
+}
+
+/// All adversarial kernels.
+pub fn kernels() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // Aliasing: p aliases a; the name-based static analysis misses it.
+    v.push(Builder::new(
+        "alias-antidep-yes",
+        Category::Aliasing,
+        "An alias pointer hides the anti-dependence from name-based analysis.",
+        r#"
+int a[128];
+int main(void)
+{
+  int i;
+  int* p;
+  p = a;
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 127; i++)
+    a[i] = p[i + 1] + 1;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("p[i + 1]", Op::R, 0), ("a[i]", Op::W, 0))],
+    ).behavior(ToolBehavior::EvadesStatic));
+
+    // Aliasing through an offset pointer.
+    v.push(Builder::new(
+        "alias-offset-yes",
+        Category::Aliasing,
+        "A pointer offset into the same array shifts the write window onto the reads.",
+        r#"
+double buf[200];
+int main(void)
+{
+  int i;
+  double* q;
+  q = buf + 1;
+  for (int k = 0; k < 200; k++)
+    buf[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 199; i++)
+    q[i] = buf[i] * 2.0;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("buf[i]", Op::R, 0), ("q[i]", Op::W, 0))],
+    ).behavior(ToolBehavior::EvadesStatic));
+
+    // Two pointers into provably different arrays: race-free, but the
+    // detector cannot know `p` and `a` are unrelated? It assumes names
+    // are distinct, so it stays silent — correct by luck, standard here.
+    v.push(Builder::new(
+        "alias-distinct-no",
+        Category::Aliasing,
+        "Pointers into two distinct arrays: the windows are disjoint.",
+        r#"
+double src[128];
+double dst[128];
+int main(void)
+{
+  int i;
+  double* p;
+  p = dst;
+  for (int k = 0; k < 128; k++)
+    src[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 128; i++)
+    p[i] = src[i] + 1.0;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Interprocedural: racy update hidden in a callee.
+    v.push(Builder::new(
+        "interproc-hidden-yes",
+        Category::Interprocedural,
+        "The racy shared update happens inside a helper function.",
+        r#"
+int total;
+void bump(int amount)
+{
+  total = total + amount;
+}
+int main(void)
+{
+  int i;
+  total = 0;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    bump(i);
+  return total;
+}
+"#,
+        true,
+        vec![sp(("total", Op::R, 0), ("total", Op::W, 0))],
+    ));
+
+    // Interprocedural, correct: callee writes caller-disjoint slots.
+    v.push(Builder::new(
+        "interproc-disjoint-no",
+        Category::Interprocedural,
+        "The helper writes one distinct element per call.",
+        r#"
+int table[64];
+void put(int i, int value)
+{
+  table[i] = value;
+}
+int main(void)
+{
+  int i;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    put(i, i * 3);
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Two levels of calls.
+    v.push(Builder::new(
+        "interproc-deep-yes",
+        Category::Interprocedural,
+        "The race hides two call levels down.",
+        r#"
+double norm;
+void add(double x)
+{
+  norm = norm + x;
+}
+void accumulate(double x)
+{
+  add(x);
+}
+int main(void)
+{
+  int i;
+  double a[96];
+  for (int k = 0; k < 96; k++)
+    a[k] = k * 0.5;
+  norm = 0.0;
+  #pragma omp parallel for
+  for (i = 0; i < 96; i++)
+    accumulate(a[i]);
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("norm", Op::R, 0), ("norm", Op::W, 0))],
+    )
+    // The argument `a[i]` is too complex for the conservative inliner,
+    // so the static path never sees the callee's accesses.
+    .behavior(ToolBehavior::EvadesStatic));
+
+    // Symbolic bound: the gap between write and read windows depends on
+    // an input-like value; statically unknowable. Chosen so the windows
+    // are disjoint at runtime: static tools over-report.
+    v.push(Builder::new(
+        "symbolic-disjoint-no",
+        Category::Symbolic,
+        "Write window [0,half) and read window [half,n): disjoint, but the split is symbolic.",
+        r#"
+int main(int argc, char* argv[])
+{
+  int i;
+  int n = 128;
+  int half = n / 2 + argc - 1;
+  double a[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[i] = a[i + half] * 0.5;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ).behavior(ToolBehavior::TripsStatic));
+
+    // Symbolic bound that actually overlaps.
+    v.push(Builder::new(
+        "symbolic-overlap-yes",
+        Category::Symbolic,
+        "The symbolic offset lands the read window inside the write window.",
+        r#"
+int main(int argc, char* argv[])
+{
+  int i;
+  int off = argc;
+  double a[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 120; i++)
+    a[i] = a[i + off] * 0.5;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("a[i + off]", Op::R, 0), ("a[i]", Op::W, 0))],
+    ));
+
+    // Control-dependent race: triggered only when data says so (it does).
+    v.push(Builder::new(
+        "control-datadep-yes",
+        Category::Control,
+        "The conflicting write fires under a data-dependent branch that is taken.",
+        r#"
+int flagged;
+int main(void)
+{
+  int i;
+  int d[100];
+  for (int k = 0; k < 100; k++)
+    d[k] = k % 10;
+  flagged = -1;
+  #pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    if (d[i] == 3)
+      flagged = i;
+  return flagged;
+}
+"#,
+        true,
+        vec![sp(("flagged", Op::W, 1), ("flagged", Op::W, 1))],
+    ));
+
+    // Control-dependent but never triggered: statically looks racy.
+    v.push(Builder::new(
+        "control-deadbranch-no",
+        Category::Control,
+        "The conflicting write sits in a branch the data never takes.",
+        r#"
+int flagged;
+int main(void)
+{
+  int i;
+  int d[100];
+  for (int k = 0; k < 100; k++)
+    d[k] = k % 10;
+  flagged = -1;
+  #pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    if (d[i] == 15)
+      flagged = i;
+  return flagged;
+}
+"#,
+        false,
+        vec![],
+    ).behavior(ToolBehavior::TripsStatic));
+
+    // A single write guarded to exactly one iteration: one writer only.
+    v.push(Builder::new(
+        "control-singlewriter-no",
+        Category::Control,
+        "Exactly one iteration writes the scalar: no concurrent writers.",
+        r#"
+int picked;
+int main(void)
+{
+  int i;
+  double a[64];
+  for (int k = 0; k < 64; k++)
+    a[k] = k;
+  picked = 0;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    if (i == 31)
+      picked = i;
+  return picked;
+}
+"#,
+        false,
+        vec![],
+    ).behavior(ToolBehavior::TripsStatic));
+
+    // Guarded by thread id: still a race between writer and readers.
+    v.push(Builder::new(
+        "control-tidguard-yes",
+        Category::Control,
+        "Thread 0 writes while other threads read, with no barrier.",
+        r#"
+int shared_v;
+int sink[16];
+int main(void)
+{
+  shared_v = 0;
+  #pragma omp parallel
+  {
+    if (omp_get_thread_num() == 0)
+      shared_v = 11;
+    else
+      sink[omp_get_thread_num()] = shared_v;
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("shared_v", Op::W, 1), ("shared_v", Op::R, 0))],
+    ));
+
+    // if-clause disables parallelism: serial, race-free despite pattern.
+    v.push(Builder::new(
+        "ifclause-serial-no",
+        Category::Control,
+        "if(0) on the parallel directive forces serial execution of a racy-looking loop.",
+        r#"
+int main(void)
+{
+  int i;
+  int a[64];
+  for (int k = 0; k < 64; k++)
+    a[k] = k;
+  #pragma omp parallel for if(0)
+  for (i = 0; i < 63; i++)
+    a[i] = a[i + 1];
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // num_threads(1): same story.
+    v.push(Builder::new(
+        "numthreads1-no",
+        Category::Control,
+        "num_threads(1) makes the team a single thread; the recurrence is sequential.",
+        r#"
+int main(void)
+{
+  int i;
+  int a[64];
+  for (int k = 0; k < 64; k++)
+    a[k] = k;
+  #pragma omp parallel for num_threads(1)
+  for (i = 0; i < 63; i++)
+    a[i] = a[i + 1];
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    v
+}

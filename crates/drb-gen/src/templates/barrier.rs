@@ -1,0 +1,363 @@
+//! Barrier-structure and once-construct kernels: nowait misuse, missing
+//! barriers, master/single patterns (DRB's `nowait*`, `barrier*`,
+//! `master*`, `single*` families).
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec, ToolBehavior};
+
+fn sp(a: (&str, Op, usize), b: (&str, Op, usize)) -> PairSpec {
+    PairSpec { first: SideSpec::nth(a.0, a.1, a.2), second: SideSpec::nth(b.0, b.1, b.2) }
+}
+
+/// All barrier-structure kernels.
+pub fn kernels() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // nowait misuse: second loop reads across chunk boundaries.
+    v.push(Builder::new(
+        "nowait-orig-yes",
+        Category::BarrierStructure,
+        "A nowait worksharing loop followed by a loop reading neighbours: the removed barrier exposes a race.",
+        r#"
+int main(void)
+{
+  int i, j;
+  int a[128];
+  int b[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp parallel
+  {
+    #pragma omp for nowait
+    for (i = 0; i < 128; i++)
+      a[i] = a[i] + 1;
+    #pragma omp for
+    for (j = 0; j < 127; j++)
+      b[j] = a[j + 1];
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("a[i]", Op::W, 0), ("a[j + 1]", Op::R, 0))],
+    ));
+
+    // Correct: implicit barrier retained.
+    v.push(Builder::new(
+        "nowait-removed-no",
+        Category::BarrierStructure,
+        "Identical loops with the implicit barrier kept: no race.",
+        r#"
+int main(void)
+{
+  int i, j;
+  int a[128];
+  int b[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp parallel
+  {
+    #pragma omp for
+    for (i = 0; i < 128; i++)
+      a[i] = a[i] + 1;
+    #pragma omp for
+    for (j = 0; j < 127; j++)
+      b[j] = a[j + 1];
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Benign nowait: disjoint arrays.
+    v.push(Builder::new(
+        "nowait-disjoint-no",
+        Category::BarrierStructure,
+        "nowait between loops touching disjoint arrays is safe.",
+        r#"
+int main(void)
+{
+  int i, j;
+  int a[96];
+  int b[96];
+  #pragma omp parallel
+  {
+    #pragma omp for nowait
+    for (i = 0; i < 96; i++)
+      a[i] = i;
+    #pragma omp for
+    for (j = 0; j < 96; j++)
+      b[j] = j * 2;
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Master init without a barrier before use.
+    v.push(Builder::new(
+        "mastermissingbarrier-yes",
+        Category::OnceConstructs,
+        "master initializes shared data; other threads read it with no barrier in between.",
+        r#"
+int init;
+int out[16];
+int main(void)
+{
+  init = 0;
+  #pragma omp parallel
+  {
+    #pragma omp master
+    {
+      init = 42;
+    }
+    out[omp_get_thread_num()] = init;
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("init", Op::W, 1), ("init", Op::R, 0))],
+    ));
+
+    // The fixed version with an explicit barrier.
+    v.push(Builder::new(
+        "masterbarrier-no",
+        Category::OnceConstructs,
+        "master initialization published through an explicit barrier.",
+        r#"
+int init;
+int out[16];
+int main(void)
+{
+  init = 0;
+  #pragma omp parallel
+  {
+    #pragma omp master
+    {
+      init = 42;
+    }
+    #pragma omp barrier
+    out[omp_get_thread_num()] = init;
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // single (with its implicit barrier) is already safe.
+    v.push(Builder::new(
+        "singleinit-no",
+        Category::OnceConstructs,
+        "single initializes shared data; its implicit barrier publishes it.",
+        r#"
+int init;
+int out[16];
+int main(void)
+{
+  init = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      init = 7;
+    }
+    out[omp_get_thread_num()] = init;
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // single nowait removes that protection.
+    v.push(Builder::new(
+        "singlenowait-yes",
+        Category::OnceConstructs,
+        "single nowait: the initialization is no longer ordered before the reads.",
+        r#"
+int init;
+int out[16];
+int main(void)
+{
+  init = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single nowait
+    {
+      init = 7;
+    }
+    out[omp_get_thread_num()] = init;
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("init", Op::W, 1), ("init", Op::R, 0))],
+    ));
+
+    // Explicit barrier splitting two phases over the same array.
+    v.push(Builder::new(
+        "barrierphases-no",
+        Category::BarrierStructure,
+        "Replicated writes to per-thread slots, barrier, then neighbour reads.",
+        r#"
+int stage[16];
+int out[16];
+int main(void)
+{
+  #pragma omp parallel num_threads(8)
+  {
+    int me;
+    me = omp_get_thread_num();
+    stage[me] = me * 10;
+    #pragma omp barrier
+    out[me] = stage[(me + 1) % 8];
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Same pattern without the barrier.
+    v.push(Builder::new(
+        "barriermissing-yes",
+        Category::BarrierStructure,
+        "Neighbour reads without the separating barrier race with the writes.",
+        r#"
+int stage[16];
+int out[16];
+int main(void)
+{
+  #pragma omp parallel num_threads(8)
+  {
+    int me;
+    me = omp_get_thread_num();
+    stage[me] = me * 10;
+    out[me] = stage[(me + 1) % 8];
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("stage[me]", Op::W, 0), ("stage[(me + 1) % 8]", Op::R, 0))],
+    ));
+
+    // Two single constructs back to back (barriers order them).
+    v.push(Builder::new(
+        "singletwice-no",
+        Category::OnceConstructs,
+        "Two single constructs; the first's implicit barrier orders the second.",
+        r#"
+int x;
+int main(void)
+{
+  x = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      x = 1;
+    }
+    #pragma omp single
+    {
+      x = x + 1;
+    }
+  }
+  return x;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // single nowait followed by single: unordered writers.
+    v.push(Builder::new(
+        "singletwice-nowait-yes",
+        Category::OnceConstructs,
+        "The first single carries nowait, so two (possibly different) threads write x unordered.",
+        r#"
+int x;
+int main(void)
+{
+  x = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single nowait
+    {
+      x = 1;
+    }
+    #pragma omp single
+    {
+      x = x + 1;
+    }
+  }
+  return x;
+}
+"#,
+        true,
+        vec![sp(("x", Op::W, 1), ("x", Op::W, 2))],
+    ).behavior(ToolBehavior::Standard));
+
+    // Ordered construct serializes the racy-looking update.
+    v.push(Builder::new(
+        "ordered-orig-no",
+        Category::BarrierStructure,
+        "A shared accumulator updated inside an ordered region: serialized by iteration order.",
+        r#"
+int main(void)
+{
+  int i;
+  int checksum;
+  checksum = 0;
+  #pragma omp parallel for ordered
+  for (i = 0; i < 64; i++) {
+    #pragma omp ordered
+    {
+      checksum = checksum + i;
+    }
+  }
+  return checksum;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Accumulator updated outside the ordered region.
+    v.push(Builder::new(
+        "ordered-outside-yes",
+        Category::BarrierStructure,
+        "The ordered region covers only part of the body; the outside update races.",
+        r#"
+int main(void)
+{
+  int i;
+  int checksum;
+  int trace[64];
+  checksum = 0;
+  #pragma omp parallel for ordered
+  for (i = 0; i < 64; i++) {
+    #pragma omp ordered
+    {
+      trace[i] = i;
+    }
+    checksum = checksum + i;
+  }
+  return checksum;
+}
+"#,
+        true,
+        vec![sp(("checksum", Op::R, 0), ("checksum", Op::W, 1))],
+    ));
+
+    v
+}

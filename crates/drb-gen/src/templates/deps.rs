@@ -1,0 +1,386 @@
+//! Dependence-pattern kernels: anti/true/output dependences and their
+//! race-free counterparts (DRB's `antidep*`, `truedep*`, `outputdep*`,
+//! `doall*` families).
+//!
+//! Convention: initialization loops use `k`/`m` as induction variables so
+//! kernel-loop access texts (`a[i]`, `a[i + 1]`…) are unique and pair
+//! specs can use occurrence 0.
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec};
+
+fn pair(first: (&str, Op), second: (&str, Op)) -> PairSpec {
+    PairSpec { first: SideSpec::new(first.0, first.1), second: SideSpec::new(second.0, second.1) }
+}
+
+/// All dependence-family kernels.
+pub fn kernels() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // ---- anti-dependence (race-yes) with size variants ----
+    for (tag, len) in [("orig", 1000), ("var1", 500), ("var2", 2000)] {
+        v.push(Builder::new(
+            &format!("antidep1-{tag}-yes"),
+            Category::AntiDep,
+            "A loop with loop-carried anti-dependence on array a.",
+            &format!(
+                r#"
+#include <stdio.h>
+int main(int argc, char* argv[])
+{{
+  int i;
+  int len = {len};
+  int a[{len}];
+  for (int k = 0; k < len; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < len - 1; i++)
+    a[i] = a[i + 1] + 1;
+  printf("a[50]=%d\n", a[50]);
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![pair(("a[i + 1]", Op::R), ("a[i]", Op::W))],
+        ));
+    }
+
+    // 2D anti-dependence carried by the parallel (outer) loop. An
+    // inner-dimension dependence (b[i][j+1]) would be private to each
+    // outer iteration and therefore race-free; the outer offset is not.
+    v.push(Builder::new(
+        "antidep2-orig-yes",
+        Category::AntiDep,
+        "A two-dimensional loop nest with an anti-dependence carried by the parallel outer loop.",
+        r#"
+int main(void)
+{
+  int i, j;
+  double b[20][20];
+  for (int k = 0; k < 20; k++)
+    for (int m = 0; m < 20; m++)
+      b[k][m] = 1.0;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < 19; i++)
+    for (j = 0; j < 20; j++)
+      b[i][j] = b[i + 1][j] * 0.5;
+  return 0;
+}
+"#,
+        true,
+        vec![pair(("b[i + 1][j]", Op::R), ("b[i][j]", Op::W))],
+    ));
+
+    // ---- true dependence (race-yes) ----
+    for (tag, len, stride) in [("orig", 1000, 1), ("var1", 100, 1)] {
+        v.push(Builder::new(
+            &format!("truedep1-{tag}-yes"),
+            Category::TrueDep,
+            "A loop with loop-carried true dependence: a[i+1] depends on a[i].",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  int len = {len};
+  int a[{len}];
+  for (int k = 0; k < len; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < len - {stride}; i++)
+    a[i + {stride}] = a[i] + 1;
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![PairSpec {
+                first: SideSpec::new("a[i]", Op::R),
+                second: SideSpec::new(&format!("a[i + {stride}]"), Op::W),
+            }],
+        ));
+    }
+
+    // True dependence at distance 4 — races only across chunk boundaries.
+    v.push(Builder::new(
+        "truedep-distance4-var-yes",
+        Category::TrueDep,
+        "True dependence at constant distance 4; still loop-carried and racy under worksharing.",
+        r#"
+int main(void)
+{
+  int i;
+  double x[256];
+  for (int k = 0; k < 256; k++)
+    x[k] = 0.5 * k;
+  #pragma omp parallel for
+  for (i = 0; i < 252; i++)
+    x[i + 4] = x[i] * 2.0;
+  return 0;
+}
+"#,
+        true,
+        vec![pair(("x[i]", Op::R), ("x[i + 4]", Op::W))],
+    ));
+
+    // ---- output dependence (race-yes) ----
+    v.push(Builder::new(
+        "outputdep1-orig-yes",
+        Category::OutputDep,
+        "Every iteration writes the same shared scalar: output dependence (and a read of it afterwards).",
+        r#"
+#include <stdio.h>
+int main(void)
+{
+  int i;
+  int x;
+  int len = 100;
+  x = 0;
+  #pragma omp parallel for
+  for (i = 0; i < len; i++)
+    x = i;
+  printf("x=%d\n", x);
+  return 0;
+}
+"#,
+        true,
+        vec![PairSpec {
+            first: SideSpec::nth("x", Op::W, 1),
+            second: SideSpec::nth("x", Op::W, 1),
+        }],
+    ));
+
+    v.push(Builder::new(
+        "outputdep2-var-yes",
+        Category::OutputDep,
+        "Conditional writes to one shared element create an output dependence across iterations.",
+        r#"
+int main(void)
+{
+  int i;
+  int a[128];
+  int last;
+  for (int k = 0; k < 128; k++)
+    a[k] = k % 7;
+  last = -1;
+  #pragma omp parallel for
+  for (i = 0; i < 128; i++)
+    if (a[i] == 0)
+      last = i;
+  return last;
+}
+"#,
+        true,
+        vec![PairSpec {
+            first: SideSpec::nth("last", Op::W, 1),
+            second: SideSpec::nth("last", Op::W, 1),
+        }],
+    ));
+
+    // ---- race-free doall counterparts ----
+    for (tag, len) in [("orig", 1000), ("var1", 100), ("var2", 4096)] {
+        v.push(Builder::new(
+            &format!("doall1-{tag}-no"),
+            Category::AntiDep,
+            "Element-wise update with no loop-carried dependence.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  int a[{len}];
+  for (int k = 0; k < {len}; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < {len}; i++)
+    a[i] = a[i] + 1;
+  return 0;
+}}
+"#
+            ),
+            false,
+            vec![],
+        ));
+    }
+
+    v.push(Builder::new(
+        "doall2-orig-no",
+        Category::AntiDep,
+        "Two arrays, disjoint roles: reads from b, writes to a.",
+        r#"
+int main(void)
+{
+  int i;
+  double a[500];
+  double b[500];
+  for (int k = 0; k < 500; k++)
+    b[k] = k * 0.5;
+  #pragma omp parallel for
+  for (i = 0; i < 500; i++)
+    a[i] = b[i] * 2.0;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    v.push(Builder::new(
+        "doall-offset-read-no",
+        Category::TrueDep,
+        "Reads a[i+1] but writes a different array: the offset read is harmless.",
+        r#"
+int main(void)
+{
+  int i;
+  int a[257];
+  int c[256];
+  for (int k = 0; k < 257; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 256; i++)
+    c[i] = a[i + 1];
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Disjoint strided accesses: GCD-provable independence.
+    v.push(Builder::new(
+        "stride2-disjoint-no",
+        Category::AntiDep,
+        "Write a[2*i], read a[2*i+1]: even/odd elements never collide.",
+        r#"
+int main(void)
+{
+  int i;
+  int a[512];
+  for (int k = 0; k < 512; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 256; i++)
+    a[2 * i] = a[2 * i + 1] + 1;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Strided racy variant: overlapping strides.
+    v.push(Builder::new(
+        "stride-overlap-yes",
+        Category::AntiDep,
+        "Write a[2*i], read a[i+64]: ranges overlap, dependences are carried.",
+        r#"
+int main(void)
+{
+  int i;
+  int a[256];
+  for (int k = 0; k < 256; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 96; i++)
+    a[2 * i] = a[i + 64] + 1;
+  return 0;
+}
+"#,
+        true,
+        vec![pair(("a[i + 64]", Op::R), ("a[2 * i]", Op::W))],
+    ));
+
+    // Reversed loop with true dependence.
+    v.push(Builder::new(
+        "truedep-reverse-var-yes",
+        Category::TrueDep,
+        "Descending loop with a carried dependence a[i-1] -> a[i].",
+        r#"
+int main(void)
+{
+  int i;
+  int a[300];
+  for (int k = 0; k < 300; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 299; i > 0; i--)
+    a[i - 1] = a[i] + 1;
+  return 0;
+}
+"#,
+        true,
+        vec![pair(("a[i]", Op::R), ("a[i - 1]", Op::W))],
+    ));
+
+    // Triangular loop, race-free (each (i,j) writes its own cell).
+    v.push(Builder::new(
+        "triangular-no",
+        Category::Stencil,
+        "Triangular nest writing distinct cells per outer iteration.",
+        r#"
+int main(void)
+{
+  int i, j;
+  double t[40][40];
+  for (int k = 0; k < 40; k++)
+    for (int m = 0; m < 40; m++)
+      t[k][m] = 0.0;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < 40; i++)
+    for (j = 0; j <= i; j++)
+      t[i][j] = i + j;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Prefix-sum style recurrence (classic unparallelizable loop).
+    v.push(Builder::new(
+        "prefixsum-yes",
+        Category::TrueDep,
+        "Prefix sum recurrence parallelized incorrectly.",
+        r#"
+int main(void)
+{
+  int i;
+  double s[400];
+  for (int k = 0; k < 400; k++)
+    s[k] = 1.0;
+  #pragma omp parallel for
+  for (i = 1; i < 400; i++)
+    s[i] = s[i - 1] + s[i];
+  return 0;
+}
+"#,
+        true,
+        vec![pair(("s[i - 1]", Op::R), ("s[i]", Op::W))],
+    ));
+
+    // Gather with bounded offsets, race-free.
+    v.push(Builder::new(
+        "gather-separate-no",
+        Category::Stencil,
+        "Gather from a read-only array into a private output row.",
+        r#"
+int main(void)
+{
+  int i;
+  double src[300];
+  double dst[300];
+  for (int k = 0; k < 300; k++)
+    src[k] = k * 0.25;
+  #pragma omp parallel for
+  for (i = 1; i < 299; i++)
+    dst[i] = src[i - 1] + src[i] + src[i + 1];
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    v
+}

@@ -1,0 +1,375 @@
+//! Remaining families: target constructs, stencils, schedule variants,
+//! collapse, and the three oversized kernels that the DRB-ML token
+//! filter drops (198 of 201 survive, as in the paper §3.2).
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec};
+
+fn sp(a: (&str, Op, usize), b: (&str, Op, usize)) -> PairSpec {
+    PairSpec { first: SideSpec::nth(a.0, a.1, a.2), second: SideSpec::nth(b.0, b.1, b.2) }
+}
+
+/// All miscellaneous kernels.
+pub fn kernels() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // Target offload-style loop, racy recurrence.
+    v.push(Builder::new(
+        "targetparallelfor-dep-yes",
+        Category::Target,
+        "target teams distribute parallel for over a recurrence.",
+        r#"
+int main(void)
+{
+  int i;
+  double p[180];
+  for (int k = 0; k < 180; k++)
+    p[k] = k;
+  #pragma omp target teams distribute parallel for map(tofrom: p)
+  for (i = 0; i < 179; i++)
+    p[i] = p[i + 1] * 0.5;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("p[i + 1]", Op::R, 0), ("p[i]", Op::W, 0))],
+    ));
+
+    // Target offload, clean.
+    v.push(Builder::new(
+        "targetparallelfor-no",
+        Category::Target,
+        "target teams distribute parallel for, elementwise: race-free.",
+        r#"
+int main(void)
+{
+  int i;
+  double p[180];
+  for (int k = 0; k < 180; k++)
+    p[k] = k;
+  #pragma omp target teams distribute parallel for map(tofrom: p)
+  for (i = 0; i < 180; i++)
+    p[i] = p[i] * 0.5;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Jacobi with separate in/out arrays: classic race-free stencil.
+    v.push(Builder::new(
+        "jacobi-separate-no",
+        Category::Stencil,
+        "Jacobi sweep reading old[] and writing new_[]: no conflict.",
+        r#"
+int main(void)
+{
+  int i, j;
+  double old[34][34];
+  double new_[34][34];
+  for (int k = 0; k < 34; k++)
+    for (int m = 0; m < 34; m++)
+      old[k][m] = k + m;
+  #pragma omp parallel for private(j)
+  for (i = 1; i < 33; i++)
+    for (j = 1; j < 33; j++)
+      new_[i][j] = 0.25 * (old[i - 1][j] + old[i + 1][j] + old[i][j - 1] + old[i][j + 1]);
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // In-place Gauss-Seidel: carried both directions.
+    v.push(Builder::new(
+        "seidel-inplace-yes",
+        Category::Stencil,
+        "In-place sweep: iteration i reads rows i-1 and i+1 while others write them.",
+        r#"
+int main(void)
+{
+  int i, j;
+  double g[34][34];
+  for (int k = 0; k < 34; k++)
+    for (int m = 0; m < 34; m++)
+      g[k][m] = k * m;
+  #pragma omp parallel for private(j)
+  for (i = 1; i < 33; i++)
+    for (j = 1; j < 33; j++)
+      g[i][j] = 0.25 * (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]);
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("g[i + 1][j]", Op::R, 0), ("g[i][j]", Op::W, 0))],
+    ));
+
+    // collapse(2) over independent cells.
+    v.push(Builder::new(
+        "collapse2-no",
+        Category::Stencil,
+        "collapse(2) nest writing one distinct cell per collapsed iteration.",
+        r#"
+int main(void)
+{
+  int i, j;
+  double c[24][24];
+  #pragma omp parallel for collapse(2)
+  for (i = 0; i < 24; i++)
+    for (j = 0; j < 24; j++)
+      c[i][j] = i * 24 + j;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // collapse(2) with a dependence on the second dimension: now carried
+    // by the collapsed iteration space.
+    v.push(Builder::new(
+        "collapse2-dep-yes",
+        Category::Stencil,
+        "collapse(2) with dynamic scheduling makes the inner-dimension dependence cross threads.",
+        r#"
+int main(void)
+{
+  int i, j;
+  double c[24][24];
+  for (int k = 0; k < 24; k++)
+    for (int m = 0; m < 24; m++)
+      c[k][m] = k + m;
+  #pragma omp parallel for collapse(2) schedule(dynamic, 3)
+  for (i = 0; i < 24; i++)
+    for (j = 0; j < 23; j++)
+      c[i][j] = c[i][j + 1] * 0.5;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("c[i][j + 1]", Op::R, 0), ("c[i][j]", Op::W, 0))],
+    ));
+
+    // Dynamic schedule over a recurrence (schedule-dependent exposure).
+    v.push(Builder::new(
+        "dynamicschedule-dep-yes",
+        Category::BarrierStructure,
+        "Recurrence under schedule(dynamic): chunk interleaving exposes the race widely.",
+        r#"
+int main(void)
+{
+  int i;
+  float r[256];
+  for (int k = 0; k < 256; k++)
+    r[k] = k;
+  #pragma omp parallel for schedule(dynamic, 8)
+  for (i = 0; i < 255; i++)
+    r[i] = r[i + 1] + 1.0f;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("r[i + 1]", Op::R, 0), ("r[i]", Op::W, 0))],
+    ));
+
+    // Static chunked schedule, clean elementwise.
+    v.push(Builder::new(
+        "staticchunk-no",
+        Category::BarrierStructure,
+        "schedule(static, 4) over an elementwise update.",
+        r#"
+int main(void)
+{
+  int i;
+  float r[256];
+  for (int k = 0; k < 256; k++)
+    r[k] = k;
+  #pragma omp parallel for schedule(static, 4)
+  for (i = 0; i < 256; i++)
+    r[i] = r[i] + 1.0f;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Guided schedule on independent work.
+    v.push(Builder::new(
+        "guided-no",
+        Category::BarrierStructure,
+        "schedule(guided) over independent per-element work.",
+        r#"
+int main(void)
+{
+  int i;
+  double w[192];
+  for (int k = 0; k < 192; k++)
+    w[k] = k;
+  #pragma omp parallel for schedule(guided)
+  for (i = 0; i < 192; i++)
+    w[i] = w[i] * w[i] + 1.0;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Flush-based (broken) flag signalling — still a race.
+    v.push(Builder::new(
+        "flush-flag-yes",
+        Category::MissingSync,
+        "A flag signalled with flush only: flush is not mutual exclusion.",
+        r#"
+int ready;
+int payload;
+int main(void)
+{
+  ready = 0;
+  payload = 0;
+  #pragma omp parallel
+  {
+    if (omp_get_thread_num() == 0) {
+      payload = 42;
+      #pragma omp flush
+      ready = 1;
+    } else {
+      if (ready == 1) {
+        int use;
+        use = payload;
+      }
+    }
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("ready", Op::W, 1), ("ready", Op::R, 0))],
+    ));
+
+    // Nested parallel treated as one level (inner serialized): clean.
+    v.push(Builder::new(
+        "nestedparallel-no",
+        Category::Control,
+        "Nested parallel regions writing thread-distinct cells.",
+        r#"
+int lattice[64];
+int main(void)
+{
+  #pragma omp parallel num_threads(4)
+  {
+    int outer;
+    outer = omp_get_thread_num();
+    #pragma omp parallel num_threads(2)
+    {
+      lattice[outer * 2 + omp_get_thread_num() % 2] = outer;
+    }
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // While-loop convergence pattern with a shared error accumulator.
+    v.push(Builder::new(
+        "convergence-error-yes",
+        Category::Reduction,
+        "Convergence loop accumulating error into a shared scalar without reduction.",
+        r#"
+int main(void)
+{
+  int i;
+  double err;
+  double u[128];
+  for (int k = 0; k < 128; k++)
+    u[k] = k * 0.01;
+  err = 0.0;
+  #pragma omp parallel for
+  for (i = 0; i < 128; i++)
+    err = err + u[i] * u[i];
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("err", Op::R, 0), ("err", Op::W, 1))],
+    ));
+
+    v
+}
+
+/// The three oversized kernels excluded by the 4k-token filter
+/// (1 race-yes, 2 race-no — so the 198-entry subset splits 100/98 when
+/// the full corpus splits 101/100).
+pub fn oversized() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // Generate a long unrolled body: hundreds of statements.
+    let unrolled = |n: usize, racy: bool| -> String {
+        let mut s = String::new();
+        s.push_str("#include <stdio.h>\n");
+        s.push_str("double field[4096];\n");
+        s.push_str("int main(void)\n{\n  int i;\n");
+        for k in 0..n {
+            s.push_str(&format!("  field[{k}] = {k}.0 * 0.5 + {};\n", k % 7));
+        }
+        if racy {
+            s.push_str("  #pragma omp parallel for\n");
+            s.push_str("  for (i = 0; i < 4095; i++)\n");
+            s.push_str("    field[i] = field[i + 1] + 1.0;\n");
+        } else {
+            s.push_str("  #pragma omp parallel for\n");
+            s.push_str("  for (i = 0; i < 4096; i++)\n");
+            s.push_str("    field[i] = field[i] + 1.0;\n");
+        }
+        s.push_str("  printf(\"%f\\n\", field[7]);\n  return 0;\n}\n");
+        s
+    };
+
+    v.push(Builder::new(
+        "oversized-unrolledinit-yes",
+        Category::AntiDep,
+        "An oversized kernel (unrolled initialization) with a loop-carried anti-dependence; exceeds the 4k-token prompt budget.",
+        &unrolled(700, true),
+        true,
+        vec![sp(("field[i + 1]", Op::R, 0), ("field[i]", Op::W, 0))],
+    ));
+
+    v.push(Builder::new(
+        "oversized-unrolledinit1-no",
+        Category::AntiDep,
+        "An oversized race-free kernel (unrolled initialization); exceeds the 4k-token prompt budget.",
+        &unrolled(700, false),
+        false,
+        vec![],
+    ));
+
+    // A different oversized shape: many tiny parallel loops.
+    let many_loops = || -> String {
+        let mut s = String::new();
+        s.push_str("double lanes[64][64];\n");
+        s.push_str("int main(void)\n{\n");
+        for k in 0..160 {
+            s.push_str(&format!("  int i{k};\n"));
+            s.push_str("  #pragma omp parallel for\n");
+            s.push_str(&format!("  for (i{k} = 0; i{k} < 64; i{k}++)\n"));
+            s.push_str(&format!("    lanes[{}][i{k}] = lanes[{}][i{k}] * 0.5 + 1.0;\n", k % 64, k % 64));
+        }
+        s.push_str("  return 0;\n}\n");
+        s
+    };
+
+    v.push(Builder::new(
+        "oversized-manyloops-no",
+        Category::Control,
+        "An oversized race-free kernel made of many small parallel loops; exceeds the 4k-token prompt budget.",
+        &many_loops(),
+        false,
+        vec![],
+    ));
+
+    v
+}

@@ -1,0 +1,36 @@
+//! Kernel template families.
+
+pub mod adversarial;
+pub mod barrier;
+pub mod deps;
+pub mod misc;
+pub mod privat;
+pub mod simd;
+pub mod sync;
+pub mod tasks;
+pub mod variants;
+
+use crate::spec::Builder;
+
+/// Every base (non-variant, non-oversized) builder, in family order.
+pub fn base_builders() -> Vec<Builder> {
+    let mut v = Vec::new();
+    v.extend(deps::kernels());
+    v.extend(sync::kernels());
+    v.extend(privat::kernels());
+    v.extend(barrier::kernels());
+    v.extend(tasks::kernels());
+    v.extend(simd::kernels());
+    v.extend(adversarial::kernels());
+    v.extend(misc::kernels());
+    v
+}
+
+/// Every builder including variants and the oversized trio.
+pub fn all_builders() -> Vec<Builder> {
+    let mut v = base_builders();
+    v.extend(variants::yes_variants());
+    v.extend(variants::no_variants());
+    v.extend(misc::oversized());
+    v
+}

@@ -1,0 +1,328 @@
+//! Data-sharing attribute kernels: missing privatization, correct
+//! private/firstprivate/lastprivate/threadprivate (DRB's `privatemissing*`,
+//! `lastprivate*`, `firstprivate*`, `threadprivate*` families).
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec};
+
+fn sp(name: &str, op1: Op, occ1: usize, op2: Op, occ2: usize) -> PairSpec {
+    PairSpec { first: SideSpec::nth(name, op1, occ1), second: SideSpec::nth(name, op2, occ2) }
+}
+
+/// All privatization-family kernels.
+pub fn kernels() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // Missing private on a temporary.
+    for (tag, n) in [("orig", 100), ("var1", 400)] {
+        v.push(Builder::new(
+            &format!("privatemissing-{tag}-yes"),
+            Category::Privatization,
+            "Shared temporary reused by every iteration; needs private(tmp).",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  double tmp;
+  double a[{n}];
+  double b[{n}];
+  for (int k = 0; k < {n}; k++)
+    a[k] = k * 0.5;
+  #pragma omp parallel for
+  for (i = 0; i < {n}; i++) {{
+    tmp = a[i] * 2.0;
+    b[i] = tmp + 1.0;
+  }}
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp("tmp", Op::W, 0, Op::R, 0)],
+        ));
+    }
+
+    // Correct private clause.
+    v.push(Builder::new(
+        "private1-orig-no",
+        Category::Privatization,
+        "The temporary is correctly privatized.",
+        r#"
+int main(void)
+{
+  int i;
+  double tmp;
+  double a[100];
+  double b[100];
+  for (int k = 0; k < 100; k++)
+    a[k] = k * 0.5;
+  #pragma omp parallel for private(tmp)
+  for (i = 0; i < 100; i++) {
+    tmp = a[i] * 2.0;
+    b[i] = tmp + 1.0;
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Block-scope local: implicitly private, race-free.
+    v.push(Builder::new(
+        "private-blockscope-no",
+        Category::Privatization,
+        "The temporary is declared inside the loop body, hence private.",
+        r#"
+int main(void)
+{
+  int i;
+  double a[100];
+  double b[100];
+  for (int k = 0; k < 100; k++)
+    a[k] = k * 0.5;
+  #pragma omp parallel for
+  for (i = 0; i < 100; i++) {
+    double tmp = a[i] * 2.0;
+    b[i] = tmp + 1.0;
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Missing private on inner sequential loop index (classic DRB bug).
+    v.push(Builder::new(
+        "privatemissing-innerindex-yes",
+        Category::Privatization,
+        "Inner sequential loop index j is shared; every thread increments it.",
+        r#"
+int main(void)
+{
+  int i, j;
+  double m[30][30];
+  for (int k = 0; k < 30; k++)
+    for (int p = 0; p < 30; p++)
+      m[k][p] = 1.0;
+  #pragma omp parallel for
+  for (i = 0; i < 30; i++)
+    for (j = 0; j < 30; j++)
+      m[i][j] = m[i][j] * 0.5;
+  return 0;
+}
+"#,
+        true,
+        vec![sp("j", Op::W, 0, Op::R, 0)],
+    ));
+
+    // The corrected version with private(j).
+    v.push(Builder::new(
+        "private-innerindex-no",
+        Category::Privatization,
+        "Inner loop index privatized via private(j).",
+        r#"
+int main(void)
+{
+  int i, j;
+  double m[30][30];
+  for (int k = 0; k < 30; k++)
+    for (int p = 0; p < 30; p++)
+      m[k][p] = 1.0;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < 30; i++)
+    for (j = 0; j < 30; j++)
+      m[i][j] = m[i][j] * 0.5;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // firstprivate correct.
+    v.push(Builder::new(
+        "firstprivate-orig-no",
+        Category::Privatization,
+        "A read-mostly scalar captured by firstprivate.",
+        r#"
+int main(void)
+{
+  int i;
+  double scale;
+  double a[200];
+  scale = 2.5;
+  for (int k = 0; k < 200; k++)
+    a[k] = k;
+  #pragma omp parallel for firstprivate(scale)
+  for (i = 0; i < 200; i++)
+    a[i] = a[i] * scale;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // lastprivate correct.
+    v.push(Builder::new(
+        "lastprivate-orig-no",
+        Category::Privatization,
+        "Loop-final value communicated via lastprivate.",
+        r#"
+int main(void)
+{
+  int i;
+  double x;
+  double a[120];
+  for (int k = 0; k < 120; k++)
+    a[k] = k * 0.5;
+  x = 0.0;
+  #pragma omp parallel for lastprivate(x)
+  for (i = 0; i < 120; i++)
+    x = a[i];
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Shared scalar written, needed lastprivate.
+    v.push(Builder::new(
+        "lastprivatemissing-yes",
+        Category::Privatization,
+        "The loop-final idiom without lastprivate: shared x written by all threads.",
+        r#"
+int main(void)
+{
+  int i;
+  double x;
+  double a[120];
+  for (int k = 0; k < 120; k++)
+    a[k] = k * 0.5;
+  x = 0.0;
+  #pragma omp parallel for
+  for (i = 0; i < 120; i++)
+    x = a[i];
+  return 0;
+}
+"#,
+        true,
+        vec![sp("x", Op::W, 1, Op::W, 1)],
+    ));
+
+    // threadprivate correct.
+    v.push(Builder::new(
+        "threadprivate-orig-no",
+        Category::Privatization,
+        "A global counter declared threadprivate: per-thread copies.",
+        r#"
+int tally;
+#pragma omp threadprivate(tally)
+int main(void)
+{
+  #pragma omp parallel
+  {
+    tally = tally + 1;
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // The same global without threadprivate.
+    v.push(Builder::new(
+        "threadprivatemissing-yes",
+        Category::Privatization,
+        "A global counter updated by all threads; threadprivate (or atomic) is missing.",
+        r#"
+int tally;
+int main(void)
+{
+  tally = 0;
+  #pragma omp parallel
+  {
+    tally = tally + 1;
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp("tally", Op::R, 0, Op::W, 1)],
+    ));
+
+    // Induction variable of the worksharing loop written in the body —
+    // but it is implicitly private, so this is race-free.
+    v.push(Builder::new(
+        "inductionwrite-no",
+        Category::Privatization,
+        "The worksharing induction variable is implicitly private even when read in the body.",
+        r#"
+int main(void)
+{
+  int i;
+  int a[64];
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[i] = i * i;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // firstprivate on an array (copies whole array per thread).
+    v.push(Builder::new(
+        "firstprivate-array-no",
+        Category::Privatization,
+        "A small lookup table captured firstprivate; threads write private copies.",
+        r#"
+int main(void)
+{
+  int i;
+  int lut[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  int out[64];
+  #pragma omp parallel for firstprivate(lut)
+  for (i = 0; i < 64; i++) {
+    lut[i % 8] = lut[i % 8] + 1;
+    out[i] = lut[i % 8];
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Shared small table written concurrently (the racy version).
+    v.push(Builder::new(
+        "sharedtable-yes",
+        Category::Privatization,
+        "A shared lookup table mutated by every iteration through a modulo index.",
+        r#"
+int main(void)
+{
+  int i;
+  int lut[8];
+  int out[64];
+  for (int k = 0; k < 8; k++)
+    lut[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++) {
+    lut[i % 8] = lut[i % 8] + 1;
+    out[i] = lut[i % 8];
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp("lut[i % 8]", Op::R, 0, Op::W, 0)],
+    ));
+
+    v
+}

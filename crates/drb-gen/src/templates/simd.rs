@@ -1,0 +1,259 @@
+//! SIMD and indirect-access kernels (DRB's `simd*`, `indirectaccess*`
+//! families). SIMD lane conflicts are not modeled by the dynamic
+//! checker (they are single-thread vectorization hazards), so the yes
+//! kernels are marked [`ToolBehavior::DynUnmodeled`].
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec, ToolBehavior};
+
+fn sp(a: (&str, Op, usize), b: (&str, Op, usize)) -> PairSpec {
+    PairSpec { first: SideSpec::nth(a.0, a.1, a.2), second: SideSpec::nth(b.0, b.1, b.2) }
+}
+
+/// All SIMD/indirect kernels.
+pub fn kernels() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // SIMD loop with a true dependence across lanes.
+    v.push(Builder::new(
+        "simd-truedep-yes",
+        Category::Simd,
+        "simd loop with a lane-carried true dependence a[i+1] = a[i].",
+        r#"
+int main(void)
+{
+  int i;
+  double a[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp simd
+  for (i = 0; i < 127; i++)
+    a[i + 1] = a[i] + 1.0;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("a[i]", Op::R, 0), ("a[i + 1]", Op::W, 0))],
+    ).behavior(ToolBehavior::DynUnmodeled));
+
+    // SIMD with safelen respected: gap >= safelen.
+    v.push(Builder::new(
+        "simd-safelen-no",
+        Category::Simd,
+        "simd loop with safelen(8) and dependence distance 16: lanes never overlap.",
+        r#"
+int main(void)
+{
+  int i;
+  double a[160];
+  for (int k = 0; k < 160; k++)
+    a[k] = k;
+  #pragma omp simd safelen(8)
+  for (i = 0; i < 144; i++)
+    a[i + 16] = a[i] * 0.5;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ).behavior(ToolBehavior::DynUnmodeled));
+
+    // SIMD with safelen violated.
+    v.push(Builder::new(
+        "simd-safelen-violated-yes",
+        Category::Simd,
+        "safelen(16) declared but the dependence distance is 4: lanes conflict.",
+        r#"
+int main(void)
+{
+  int i;
+  double a[160];
+  for (int k = 0; k < 160; k++)
+    a[k] = k;
+  #pragma omp simd safelen(16)
+  for (i = 0; i < 156; i++)
+    a[i + 4] = a[i] * 0.5;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("a[i]", Op::R, 0), ("a[i + 4]", Op::W, 0))],
+    ).behavior(ToolBehavior::DynUnmodeled));
+
+    // Clean elementwise SIMD.
+    v.push(Builder::new(
+        "simd-elementwise-no",
+        Category::Simd,
+        "Elementwise simd arithmetic with no cross-lane dependence.",
+        r#"
+int main(void)
+{
+  int i;
+  double x[256];
+  double y[256];
+  for (int k = 0; k < 256; k++)
+    x[k] = k * 0.25;
+  #pragma omp simd
+  for (i = 0; i < 256; i++)
+    y[i] = x[i] * x[i];
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // parallel for simd combining both hazards.
+    v.push(Builder::new(
+        "parallelforsimd-truedep-yes",
+        Category::Simd,
+        "Combined parallel for simd over a recurrence: racy at both levels.",
+        r#"
+int main(void)
+{
+  int i;
+  float w[512];
+  for (int k = 0; k < 512; k++)
+    w[k] = 1.0f;
+  #pragma omp parallel for simd
+  for (i = 0; i < 511; i++)
+    w[i + 1] = w[i] + 1.0f;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("w[i]", Op::R, 0), ("w[i + 1]", Op::W, 0))],
+    ));
+
+    // ---- Indirect accesses ----
+
+    // Index array with duplicate targets: a genuine runtime collision.
+    v.push(Builder::new(
+        "indirectaccess-collide-yes",
+        Category::Indirect,
+        "a[idx[i]] where idx maps iteration pairs (i, i+32) to one element: distant iterations collide.",
+        r#"
+int main(void)
+{
+  int i;
+  int idx[64];
+  double a[64];
+  for (int k = 0; k < 64; k++) {
+    idx[k] = k % 32;
+    a[k] = k;
+  }
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[idx[i]] = a[idx[i]] + 1.0;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("a[idx[i]]", Op::R, 0), ("a[idx[i]]", Op::W, 0))],
+    ));
+
+    // Index array that is a permutation: runtime-disjoint, but a static
+    // tool cannot prove it.
+    v.push(Builder::new(
+        "indirectaccess-permutation-no",
+        Category::Indirect,
+        "a[idx[i]] where idx is a permutation: each element written once.",
+        r#"
+int main(void)
+{
+  int i;
+  int idx[64];
+  double a[64];
+  for (int k = 0; k < 64; k++) {
+    idx[k] = (k * 37 + 11) % 64;
+    a[k] = k;
+  }
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[idx[i]] = a[idx[i]] + 1.0;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ).behavior(ToolBehavior::TripsStatic));
+
+    // Histogram: modulo binning, collisions certain.
+    v.push(Builder::new(
+        "histogram-yes",
+        Category::Indirect,
+        "Histogram binning without atomics: concurrent increments of shared bins.",
+        r#"
+int main(void)
+{
+  int i;
+  int bins[16];
+  int data[256];
+  for (int k = 0; k < 16; k++)
+    bins[k] = 0;
+  for (int m = 0; m < 256; m++)
+    data[m] = m * 7;
+  #pragma omp parallel for
+  for (i = 0; i < 256; i++)
+    bins[data[i] % 16] = bins[data[i] % 16] + 1;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("bins[data[i] % 16]", Op::R, 0), ("bins[data[i] % 16]", Op::W, 0))],
+    ));
+
+    // Histogram fixed with atomic.
+    v.push(Builder::new(
+        "histogram-atomic-no",
+        Category::Indirect,
+        "Histogram binning with omp atomic on the increment.",
+        r#"
+int main(void)
+{
+  int i;
+  int bins[16];
+  int data[256];
+  for (int k = 0; k < 16; k++)
+    bins[k] = 0;
+  for (int m = 0; m < 256; m++)
+    data[m] = m * 7;
+  #pragma omp parallel for
+  for (i = 0; i < 256; i++) {
+    #pragma omp atomic
+    bins[data[i] % 16] += 1;
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Indirect write with disjoint strided targets — provably fine at
+    // runtime, opaque statically.
+    v.push(Builder::new(
+        "indirect-strided-no",
+        Category::Indirect,
+        "Indirect store through idx[i] = 2*i+1 (odd slots only, one writer each).",
+        r#"
+int main(void)
+{
+  int i;
+  int idx[32];
+  double a[64];
+  for (int k = 0; k < 32; k++)
+    idx[k] = 2 * k + 1;
+  for (int m = 0; m < 64; m++)
+    a[m] = 0.0;
+  #pragma omp parallel for
+  for (i = 0; i < 32; i++)
+    a[idx[i]] = i;
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ).behavior(ToolBehavior::TripsStatic));
+
+    v
+}

@@ -1,0 +1,464 @@
+//! Synchronization kernels: missing/correct critical, atomic flavours,
+//! runtime locks, named criticals, reductions (DRB's `criticalmiss*`,
+//! `atomic*`, `lock*`, `reduction*` families).
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec};
+
+fn scalar_pair(name: &str, op1: Op, occ1: usize, op2: Op, occ2: usize) -> PairSpec {
+    PairSpec {
+        first: SideSpec::nth(name, op1, occ1),
+        second: SideSpec::nth(name, op2, occ2),
+    }
+}
+
+/// All synchronization-family kernels.
+pub fn kernels() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // Missing critical around a shared counter update (classic).
+    for (tag, n) in [("orig", 4), ("var1", 8)] {
+        v.push(Builder::new(
+            &format!("criticalmissing-{tag}-yes"),
+            Category::MissingSync,
+            "Shared counter updated in a parallel region without any mutual exclusion.",
+            &format!(
+                r#"
+#include <stdio.h>
+int counter;
+int main(void)
+{{
+  counter = 0;
+  #pragma omp parallel num_threads({n})
+  {{
+    counter = counter + 1;
+  }}
+  printf("%d\n", counter);
+  return 0;
+}}
+"#
+            ),
+            true,
+            // The read of `counter` inside the region (occurrence 1 after
+            // the init write... reads: occurrence 0 is the region read).
+            vec![scalar_pair("counter", Op::R, 0, Op::W, 1)],
+        ));
+    }
+
+    // Correct critical.
+    v.push(Builder::new(
+        "critical1-orig-no",
+        Category::Sync,
+        "Shared counter correctly protected by an anonymous critical section.",
+        r#"
+int counter;
+int main(void)
+{
+  counter = 0;
+  #pragma omp parallel
+  {
+    #pragma omp critical
+    {
+      counter = counter + 1;
+    }
+  }
+  return counter;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Named criticals protecting the same variable with different names.
+    v.push(Builder::new(
+        "criticalname-mismatch-yes",
+        Category::MissingSync,
+        "Two critical sections with different names do not exclude each other.",
+        r#"
+int x;
+int main(void)
+{
+  x = 0;
+  #pragma omp parallel
+  {
+    #pragma omp critical (alpha)
+    {
+      x = x + 1;
+    }
+    #pragma omp critical (beta)
+    {
+      x = x * 2;
+    }
+  }
+  return x;
+}
+"#,
+        true,
+        vec![scalar_pair("x", Op::W, 1, Op::W, 2)],
+    ));
+
+    // Named criticals used consistently.
+    v.push(Builder::new(
+        "criticalname-consistent-no",
+        Category::Sync,
+        "All updates to x funnel through the same named critical section.",
+        r#"
+int x;
+int main(void)
+{
+  x = 0;
+  #pragma omp parallel
+  {
+    #pragma omp critical (alpha)
+    {
+      x = x + 1;
+    }
+    #pragma omp critical (alpha)
+    {
+      x = x * 2;
+    }
+  }
+  return x;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Atomic update, correct.
+    for (tag, expr) in [("update", "x += 1;"), ("incr", "x++;")] {
+        v.push(Builder::new(
+            &format!("atomic-{tag}-no"),
+            Category::Sync,
+            "Shared accumulator protected by omp atomic.",
+            &format!(
+                r#"
+int x;
+int main(void)
+{{
+  x = 0;
+  #pragma omp parallel
+  {{
+    #pragma omp atomic
+    {expr}
+  }}
+  return x;
+}}
+"#
+            ),
+            false,
+            vec![],
+        ));
+    }
+
+    // Atomic protecting the update but a plain read elsewhere.
+    v.push(Builder::new(
+        "atomic-plainread-yes",
+        Category::MissingSync,
+        "Atomic update of x, but another statement reads x without atomicity.",
+        r#"
+int x;
+int y[64];
+int main(void)
+{
+  x = 0;
+  #pragma omp parallel
+  {
+    #pragma omp atomic
+    x += 1;
+    y[omp_get_thread_num()] = x;
+  }
+  return x;
+}
+"#,
+        true,
+        vec![scalar_pair("x", Op::W, 1, Op::R, 1)],
+    ));
+
+    // Missing atomic entirely (update expression).
+    v.push(Builder::new(
+        "atomicmissing-yes",
+        Category::MissingSync,
+        "Compound update of a shared variable with no protection at all.",
+        r#"
+double sum;
+int main(void)
+{
+  sum = 0.0;
+  #pragma omp parallel
+  {
+    sum += 2.5;
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![scalar_pair("sum", Op::R, 0, Op::W, 1)],
+    ));
+
+    // Runtime locks, correct.
+    v.push(Builder::new(
+        "lock1-orig-no",
+        Category::Sync,
+        "Shared counter protected by an OpenMP runtime lock.",
+        r#"
+int counter;
+omp_lock_t lck;
+int main(void)
+{
+  counter = 0;
+  omp_init_lock(&lck);
+  #pragma omp parallel
+  {
+    omp_set_lock(&lck);
+    counter = counter + 1;
+    omp_unset_lock(&lck);
+  }
+  omp_destroy_lock(&lck);
+  return counter;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Two different locks "protecting" the same data.
+    v.push(Builder::new(
+        "locktwo-mismatch-yes",
+        Category::MissingSync,
+        "Threads take different locks around the same shared update.",
+        r#"
+int counter;
+omp_lock_t lck1;
+omp_lock_t lck2;
+int main(void)
+{
+  counter = 0;
+  omp_init_lock(&lck1);
+  omp_init_lock(&lck2);
+  #pragma omp parallel
+  {
+    if (omp_get_thread_num() % 2 == 0) {
+      omp_set_lock(&lck1);
+      counter = counter + 1;
+      omp_unset_lock(&lck1);
+    } else {
+      omp_set_lock(&lck2);
+      counter = counter + 1;
+      omp_unset_lock(&lck2);
+    }
+  }
+  return counter;
+}
+"#,
+        true,
+        vec![scalar_pair("counter", Op::W, 1, Op::W, 2)],
+    ));
+
+    // Lock released too early.
+    v.push(Builder::new(
+        "lockearly-release-yes",
+        Category::MissingSync,
+        "The lock is released before the final write to the shared variable.",
+        r#"
+int total;
+omp_lock_t lck;
+int main(void)
+{
+  total = 0;
+  omp_init_lock(&lck);
+  #pragma omp parallel
+  {
+    int t;
+    omp_set_lock(&lck);
+    t = total;
+    omp_unset_lock(&lck);
+    total = t + 1;
+  }
+  omp_destroy_lock(&lck);
+  return total;
+}
+"#,
+        true,
+        vec![scalar_pair("total", Op::W, 1, Op::W, 1)],
+    ));
+
+    // Reduction: correct clause.
+    for (tag, op, init, ty) in [
+        ("add", "+", "0", "int"),
+        ("mul", "*", "1", "int"),
+        ("min", "min", "1000000", "int"),
+        ("max", "max", "-1000000", "int"),
+    ] {
+        v.push(Builder::new(
+            &format!("reduction-{tag}-no"),
+            Category::Reduction,
+            "Reduction computed with the proper reduction clause.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  {ty} result;
+  {ty} a[200];
+  for (int k = 0; k < 200; k++)
+    a[k] = k % 13;
+  result = {init};
+  #pragma omp parallel for reduction({op}: result)
+  for (i = 0; i < 200; i++)
+    result = result {plus} a[i];
+  return 0;
+}}
+"#,
+                plus = if op == "min" || op == "max" {
+                    // min/max reductions in C style: result = a[i] < result ? ... —
+                    // keep it simple with +, the clause still privatizes.
+                    "+"
+                } else {
+                    op
+                }
+            ),
+            false,
+            vec![],
+        ));
+    }
+
+    // Missing reduction clause.
+    for (tag, n) in [("orig", 100), ("var1", 1000)] {
+        v.push(Builder::new(
+            &format!("reductionmissing-{tag}-yes"),
+            Category::Reduction,
+            "Sum accumulated into a shared variable without a reduction clause.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  double sum;
+  double a[{n}];
+  for (int k = 0; k < {n}; k++)
+    a[k] = 0.5 * k;
+  sum = 0.0;
+  #pragma omp parallel for
+  for (i = 0; i < {n}; i++)
+    sum += a[i];
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![scalar_pair("sum", Op::R, 0, Op::W, 1)],
+        ));
+    }
+
+    // Two reductions, one missing.
+    v.push(Builder::new(
+        "reduction-partial-yes",
+        Category::Reduction,
+        "Two accumulators; only one is covered by the reduction clause.",
+        r#"
+int main(void)
+{
+  int i;
+  double sum1;
+  double sum2;
+  double a[300];
+  for (int k = 0; k < 300; k++)
+    a[k] = k * 0.1;
+  sum1 = 0.0;
+  sum2 = 0.0;
+  #pragma omp parallel for reduction(+: sum1)
+  for (i = 0; i < 300; i++) {
+    sum1 += a[i];
+    sum2 += a[i] * 2.0;
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![scalar_pair("sum2", Op::R, 0, Op::W, 1)],
+    ));
+
+    // Critical inside loop, correct but slow (race-free).
+    v.push(Builder::new(
+        "critical-inloop-no",
+        Category::Sync,
+        "Accumulation protected by a critical section inside the loop.",
+        r#"
+int main(void)
+{
+  int i;
+  double total;
+  double a[150];
+  for (int k = 0; k < 150; k++)
+    a[k] = k;
+  total = 0.0;
+  #pragma omp parallel for
+  for (i = 0; i < 150; i++) {
+    #pragma omp critical
+    {
+      total = total + a[i];
+    }
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Atomic capture, correct.
+    v.push(Builder::new(
+        "atomic-capture-no",
+        Category::Sync,
+        "Unique index handout via atomic capture.",
+        r#"
+int next;
+int slots[64];
+int main(void)
+{
+  int i;
+  next = 0;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++) {
+    int mine;
+    #pragma omp atomic capture
+    mine = next++;
+    slots[i] = mine;
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Atomic write vs atomic read of a flag (both atomic: no race).
+    v.push(Builder::new(
+        "atomic-flag-no",
+        Category::Sync,
+        "A flag written and read under omp atomic write/read.",
+        r#"
+int flag;
+int main(void)
+{
+  flag = 0;
+  #pragma omp parallel
+  {
+    if (omp_get_thread_num() == 0) {
+      #pragma omp atomic write
+      flag = 1;
+    } else {
+      int seen;
+      #pragma omp atomic read
+      seen = flag;
+    }
+  }
+  return flag;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    v
+}

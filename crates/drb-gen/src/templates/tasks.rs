@@ -1,0 +1,349 @@
+//! Sections and explicit-task kernels (DRB's `sections*`, `task*`,
+//! `taskdep*` families).
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec};
+
+fn sp(a: (&str, Op, usize), b: (&str, Op, usize)) -> PairSpec {
+    PairSpec { first: SideSpec::nth(a.0, a.1, a.2), second: SideSpec::nth(b.0, b.1, b.2) }
+}
+
+/// All sections/tasks kernels.
+pub fn kernels() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // Sections writing the same variable.
+    v.push(Builder::new(
+        "sections1-orig-yes",
+        Category::Sections,
+        "Two concurrent sections write the same shared variable.",
+        r#"
+int v;
+int main(void)
+{
+  v = 0;
+  #pragma omp parallel sections
+  {
+    #pragma omp section
+    {
+      v = 1;
+    }
+    #pragma omp section
+    {
+      v = 2;
+    }
+  }
+  return v;
+}
+"#,
+        true,
+        vec![sp(("v", Op::W, 1), ("v", Op::W, 2))],
+    ));
+
+    // Sections on disjoint data.
+    v.push(Builder::new(
+        "sections-disjoint-no",
+        Category::Sections,
+        "Sections work on different variables: no conflict.",
+        r#"
+int x;
+int y;
+int main(void)
+{
+  x = 0;
+  y = 0;
+  #pragma omp parallel sections
+  {
+    #pragma omp section
+    {
+      x = 10;
+    }
+    #pragma omp section
+    {
+      y = 20;
+    }
+  }
+  return x + y;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Producer/consumer across sections (no ordering!).
+    v.push(Builder::new(
+        "sections-producerconsumer-yes",
+        Category::Sections,
+        "One section produces, the other consumes, with no synchronization between them.",
+        r#"
+int buf[64];
+int sum;
+int main(void)
+{
+  sum = 0;
+  #pragma omp parallel sections
+  {
+    #pragma omp section
+    {
+      for (int i = 0; i < 64; i++)
+        buf[i] = i;
+    }
+    #pragma omp section
+    {
+      for (int j = 0; j < 64; j++)
+        sum = sum + buf[j];
+    }
+  }
+  return sum;
+}
+"#,
+        true,
+        vec![sp(("buf[i]", Op::W, 0), ("buf[j]", Op::R, 0))],
+    ));
+
+    // Sections each updating a different array half.
+    v.push(Builder::new(
+        "sections-halves-no",
+        Category::Sections,
+        "Sections update disjoint halves of one array.",
+        r#"
+int data[128];
+int main(void)
+{
+  #pragma omp parallel sections
+  {
+    #pragma omp section
+    {
+      for (int i = 0; i < 64; i++)
+        data[i] = i;
+    }
+    #pragma omp section
+    {
+      for (int j = 64; j < 128; j++)
+        data[j] = j * 2;
+    }
+  }
+  return data[0];
+}
+"#,
+        false,
+        vec![],
+    ).behavior(crate::spec::ToolBehavior::TripsStatic));
+
+    // Sibling tasks updating shared state.
+    v.push(Builder::new(
+        "taskconflict-orig-yes",
+        Category::Tasks,
+        "Two sibling tasks update the same variable with no ordering.",
+        r#"
+int acc;
+int main(void)
+{
+  acc = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      #pragma omp task
+      {
+        acc = acc + 1;
+      }
+      #pragma omp task
+      {
+        acc = acc + 2;
+      }
+    }
+  }
+  return acc;
+}
+"#,
+        true,
+        vec![sp(("acc", Op::W, 1), ("acc", Op::W, 2))],
+    ));
+
+    // taskwait separating the siblings.
+    v.push(Builder::new(
+        "taskwait-orig-no",
+        Category::Tasks,
+        "taskwait between the two tasks orders their updates.",
+        r#"
+int acc;
+int main(void)
+{
+  acc = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      #pragma omp task
+      {
+        acc = acc + 1;
+      }
+      #pragma omp taskwait
+      #pragma omp task
+      {
+        acc = acc + 2;
+      }
+    }
+  }
+  return acc;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Task vs generating thread.
+    v.push(Builder::new(
+        "taskvsparent-yes",
+        Category::Tasks,
+        "The generating thread keeps using the variable its child task writes.",
+        r#"
+int val;
+int probe[8];
+int main(void)
+{
+  val = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      #pragma omp task
+      {
+        val = 99;
+      }
+      probe[0] = val;
+    }
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("val", Op::W, 1), ("val", Op::R, 0))],
+    ));
+
+    // taskwait before the parent's read.
+    v.push(Builder::new(
+        "taskvsparent-wait-no",
+        Category::Tasks,
+        "taskwait before the parent's read orders it after the child's write.",
+        r#"
+int val;
+int probe[8];
+int main(void)
+{
+  val = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      #pragma omp task
+      {
+        val = 99;
+      }
+      #pragma omp taskwait
+      probe[0] = val;
+    }
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Tasks on disjoint array blocks.
+    v.push(Builder::new(
+        "taskblocks-no",
+        Category::Tasks,
+        "Each task initializes its own block (firstprivate block index).",
+        r#"
+int grid[256];
+int main(void)
+{
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      int b;
+      for (b = 0; b < 4; b++) {
+        #pragma omp task firstprivate(b)
+        {
+          for (int i = 0; i < 64; i++)
+            grid[b * 64 + i] = b;
+        }
+      }
+    }
+  }
+  return grid[0];
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    // Tasks missing firstprivate: all capture the shared loop variable.
+    v.push(Builder::new(
+        "taskshared-index-yes",
+        Category::Tasks,
+        "Tasks read the shared loop variable while the generator keeps incrementing it.",
+        r#"
+int grid[256];
+int main(void)
+{
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      int b;
+      for (b = 0; b < 4; b++) {
+        #pragma omp task
+        {
+          grid[b] = b;
+        }
+      }
+    }
+  }
+  return grid[0];
+}
+"#,
+        true,
+        vec![sp(("b", Op::R, 1), ("b", Op::W, 1))],
+    )
+    // The shared capture is a block-scope local of the single construct;
+    // the static model privatizes region locals and misses this one.
+    .behavior(crate::spec::ToolBehavior::EvadesStatic));
+
+    // taskgroup ordering.
+    v.push(Builder::new(
+        "taskgroup-orig-no",
+        Category::Tasks,
+        "taskgroup waits for the child before the parent reads.",
+        r#"
+int result;
+int out[4];
+int main(void)
+{
+  result = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      #pragma omp taskgroup
+      {
+        #pragma omp task
+        {
+          result = 5;
+        }
+      }
+      out[0] = result;
+    }
+  }
+  return 0;
+}
+"#,
+        false,
+        vec![],
+    ));
+
+    v
+}

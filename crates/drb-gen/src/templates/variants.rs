@@ -1,0 +1,1224 @@
+//! Parametric variant families.
+//!
+//! DataRaceBench pads its pattern taxonomy with `-var` kernels, and a
+//! large share of its race-free kernels are *deliberately hostile to
+//! tools*: runtime-disjoint indirect accesses, dead branches, symbolic
+//! windows — the reason Intel Inspector posts 44 false positives and 11
+//! false negatives in the paper's Table 3. The `no_variants` bank below
+//! reproduces that hostility (every kernel is still verified race-free
+//! by the happens-before oracle); `yes_variants` adds the alias- and
+//! interprocedural-heavy races that give the static baseline its FNs.
+
+use crate::spec::{Builder, Category, Op, PairSpec, SideSpec, ToolBehavior};
+
+fn sp(a: (&str, Op, usize), b: (&str, Op, usize)) -> PairSpec {
+    PairSpec { first: SideSpec::nth(a.0, a.1, a.2), second: SideSpec::nth(b.0, b.1, b.2) }
+}
+
+/// Race-yes variants (exactly 43 kernels).
+pub fn yes_variants() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // 3: anti-dependence at various distances.
+    for d in [2, 3, 16] {
+        v.push(Builder::new(
+            &format!("antidep-dist{d}-var-yes"),
+            Category::AntiDep,
+            "Anti-dependence at a constant distance; carried across worksharing chunks.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  int a[512];
+  for (int k = 0; k < 512; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 512 - {d}; i++)
+    a[i] = a[i + {d}] + 1;
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp((&format!("a[i + {d}]"), Op::R, 0), ("a[i]", Op::W, 0))],
+        ));
+    }
+
+    // 2: true dependence at various distances.
+    for d in [2, 8] {
+        v.push(Builder::new(
+            &format!("truedep-dist{d}-var-yes"),
+            Category::TrueDep,
+            "True dependence at a constant distance; carried across worksharing chunks.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  double z[512];
+  for (int k = 0; k < 512; k++)
+    z[k] = k * 0.5;
+  #pragma omp parallel for
+  for (i = 0; i < 512 - {d}; i++)
+    z[i + {d}] = z[i] + 1.0;
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp(("z[i]", Op::R, 0), (&format!("z[i + {d}]"), Op::W, 0))],
+        ));
+    }
+
+    // 2: output dependence on a fixed cell.
+    for c in [0, 63] {
+        v.push(Builder::new(
+            &format!("outputdep-cell{c}-var-yes"),
+            Category::OutputDep,
+            "Every iteration writes the same fixed array element.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  int a[64];
+  for (int k = 0; k < 64; k++)
+    a[k] = 0;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[{c}] = i;
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![PairSpec {
+                first: SideSpec::nth(&format!("a[{c}]"), Op::W, 0),
+                second: SideSpec::nth(&format!("a[{c}]"), Op::W, 0),
+            }],
+        ));
+    }
+
+    // 3: missing reduction across operators/types.
+    for (tag, ty, op) in [
+        ("mulint", "int", "*"),
+        ("addfloat", "float", "+"),
+        ("adddouble", "double", "+"),
+    ] {
+        v.push(Builder::new(
+            &format!("reductionmissing-{tag}-var-yes"),
+            Category::Reduction,
+            "Accumulation into a shared variable without the needed reduction clause.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  {ty} acc;
+  {ty} a[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = 1;
+  acc = 1;
+  #pragma omp parallel for
+  for (i = 0; i < 128; i++)
+    acc = acc {op} a[i];
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp(("acc", Op::R, 0), ("acc", Op::W, 1))],
+        ));
+    }
+
+    // 3: missing privatization of different temporaries.
+    for (tag, expr) in [
+        ("scaled", "a[i] * 3.0"),
+        ("shifted", "a[i] + 10.0"),
+        ("squared", "a[i] * a[i]"),
+    ] {
+        v.push(Builder::new(
+            &format!("privatemissing-{tag}-var-yes"),
+            Category::Privatization,
+            "A shared temporary written by every iteration; private(t) is missing.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  double t;
+  double a[96];
+  double b[96];
+  for (int k = 0; k < 96; k++)
+    a[k] = k * 0.5;
+  #pragma omp parallel for
+  for (i = 0; i < 96; i++) {{
+    t = {expr};
+    b[i] = t;
+  }}
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp(("t", Op::W, 0), ("t", Op::R, 0))],
+        ));
+    }
+
+    // 2: nowait hazards at different sizes.
+    for n in [96, 192] {
+        v.push(Builder::new(
+            &format!("nowait-n{n}-var-yes"),
+            Category::BarrierStructure,
+            "nowait removes the barrier between a producer loop and a neighbour-reading loop.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i, j;
+  int a[{n}];
+  int b[{n}];
+  for (int k = 0; k < {n}; k++)
+    a[k] = k;
+  #pragma omp parallel
+  {{
+    #pragma omp for nowait
+    for (i = 0; i < {n}; i++)
+      a[i] = a[i] * 2;
+    #pragma omp for
+    for (j = 0; j < {n} - 1; j++)
+      b[j] = a[j + 1];
+  }}
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp(("a[i]", Op::W, 0), ("a[j + 1]", Op::R, 0))],
+        ));
+    }
+
+    // 2: sections producer/consumer on different payloads.
+    for (tag, n) in [("small", 32), ("large", 128)] {
+        v.push(Builder::new(
+            &format!("sections-pc-{tag}-var-yes"),
+            Category::Sections,
+            "Producer and consumer sections with no ordering between them.",
+            &format!(
+                r#"
+int q[{n}];
+int total;
+int main(void)
+{{
+  total = 0;
+  #pragma omp parallel sections
+  {{
+    #pragma omp section
+    {{
+      for (int i = 0; i < {n}; i++)
+        q[i] = i * 2;
+    }}
+    #pragma omp section
+    {{
+      for (int j = 0; j < {n}; j++)
+        total = total + q[j];
+    }}
+  }}
+  return total;
+}}
+"#
+            ),
+            true,
+            vec![sp(("q[i]", Op::W, 0), ("q[j]", Op::R, 0))],
+        ));
+    }
+
+    // 2: sibling-task conflicts on different shapes.
+    v.push(Builder::new(
+        "taskconflict-array-var-yes",
+        Category::Tasks,
+        "Two tasks write overlapping halves of an array.",
+        r#"
+int seg[64];
+int main(void)
+{
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      #pragma omp task
+      {
+        for (int i = 0; i < 40; i++)
+          seg[i] = 1;
+      }
+      #pragma omp task
+      {
+        for (int j = 24; j < 64; j++)
+          seg[j] = 2;
+      }
+    }
+  }
+  return seg[30];
+}
+"#,
+        true,
+        vec![sp(("seg[i]", Op::W, 0), ("seg[j]", Op::W, 0))],
+    ));
+    v.push(Builder::new(
+        "taskconflict-scalar-var-yes",
+        Category::Tasks,
+        "A task and its generating thread both write a shared scalar.",
+        r#"
+int mark;
+int out2[4];
+int main(void)
+{
+  mark = 0;
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      #pragma omp task
+      {
+        mark = 1;
+      }
+      mark = 2;
+    }
+  }
+  return mark;
+}
+"#,
+        true,
+        vec![sp(("mark", Op::W, 1), ("mark", Op::W, 2))],
+    ));
+
+    // 2: histograms with different bin counts.
+    for m in [8, 32] {
+        v.push(Builder::new(
+            &format!("histogram-bins{m}-var-yes"),
+            Category::Indirect,
+            "Histogram increments without atomics collide in the shared bins.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  int bins[{m}];
+  for (int k = 0; k < {m}; k++)
+    bins[k] = 0;
+  #pragma omp parallel for
+  for (i = 0; i < 256; i++)
+    bins[i % {m}] = bins[i % {m}] + 1;
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp(
+                (&format!("bins[i % {m}]"), Op::R, 0),
+                (&format!("bins[i % {m}]"), Op::W, 0),
+            )],
+        ));
+    }
+
+    // 2: indirect collisions through duplicate-heavy index maps.
+    for d in [3, 5] {
+        v.push(Builder::new(
+            &format!("indirect-div{d}-var-yes"),
+            Category::Indirect,
+            "Index map k/d funnels several iterations onto one element.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  int idx[90];
+  double a[90];
+  for (int k = 0; k < 90; k++) {{
+    idx[k] = k / {d};
+    a[k] = k;
+  }}
+  #pragma omp parallel for
+  for (i = 0; i < 90; i++)
+    a[idx[i]] = a[idx[i]] + 1.0;
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp(("a[idx[i]]", Op::R, 0), ("a[idx[i]]", Op::W, 0))],
+        ));
+    }
+
+    // 2: in-place 1D stencils.
+    for n in [100, 400] {
+        v.push(Builder::new(
+            &format!("stencil1d-n{n}-var-yes"),
+            Category::Stencil,
+            "In-place 1D stencil reads both neighbours while they are written.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  double u[{n}];
+  for (int k = 0; k < {n}; k++)
+    u[k] = k;
+  #pragma omp parallel for
+  for (i = 1; i < {n} - 1; i++)
+    u[i] = 0.5 * (u[i - 1] + u[i + 1]);
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp(("u[i + 1]", Op::R, 0), ("u[i]", Op::W, 0))],
+        ));
+    }
+
+    // 7: alias/interprocedural races the static tool cannot see
+    // (the FN bank behind Table 3's Inspector misses).
+    v.push(
+        Builder::new(
+            "alias-writeptr-var-yes",
+            Category::Aliasing,
+            "The write goes through the alias while the read uses the array name.",
+            r#"
+int base[150];
+int main(void)
+{
+  int i;
+  int* w;
+  w = base;
+  for (int k = 0; k < 150; k++)
+    base[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 149; i++)
+    w[i] = base[i + 1] + 1;
+  return 0;
+}
+"#,
+            true,
+            vec![sp(("base[i + 1]", Op::R, 0), ("w[i]", Op::W, 0))],
+        )
+        .behavior(ToolBehavior::EvadesStatic),
+    );
+
+    v.push(
+        Builder::new(
+            "alias-midpoint-var-yes",
+            Category::Aliasing,
+            "A pointer anchored at the array midpoint shifts the read window one past the writes.",
+            r#"
+double line[160];
+int main(void)
+{
+  int i;
+  double* mid;
+  mid = line + 80;
+  for (int k = 0; k < 160; k++)
+    line[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 80; i++)
+    line[i + 40] = mid[i - 39] + 1.0;
+  return 0;
+}
+"#,
+            true,
+            vec![sp(("mid[i - 39]", Op::R, 0), ("line[i + 40]", Op::W, 0))],
+        )
+        .behavior(ToolBehavior::EvadesStatic),
+    );
+
+    v.push(
+        Builder::new(
+            "alias-backward-var-yes",
+            Category::Aliasing,
+            "An alias shifted by two elements turns the update into a carried dependence.",
+            r#"
+int arr2[200];
+int main(void)
+{
+  int i;
+  int* q;
+  q = arr2 + 2;
+  for (int k = 0; k < 200; k++)
+    arr2[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 198; i++)
+    arr2[i] = q[i] + 1;
+  return 0;
+}
+"#,
+            true,
+            vec![sp(("q[i]", Op::R, 0), ("arr2[i]", Op::W, 0))],
+        )
+        .behavior(ToolBehavior::EvadesStatic),
+    );
+
+    v.push(
+        Builder::new(
+            "alias-chain-var-yes",
+            Category::Aliasing,
+            "The alias is laundered through a second pointer assignment.",
+            r#"
+int data3[128];
+int main(void)
+{
+  int i;
+  int* p1;
+  int* p2;
+  p1 = data3;
+  p2 = p1;
+  for (int k = 0; k < 128; k++)
+    data3[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 127; i++)
+    p2[i] = data3[i + 1] * 2;
+  return 0;
+}
+"#,
+            true,
+            vec![sp(("data3[i + 1]", Op::R, 0), ("p2[i]", Op::W, 0))],
+        )
+        .behavior(ToolBehavior::EvadesStatic),
+    );
+
+    v.push(
+        Builder::new(
+            "interproc-exprarg-var-yes",
+            Category::Interprocedural,
+            "The helper call's computed argument defeats conservative inlining.",
+            r#"
+int glob4[256];
+void shiftleft(int i)
+{
+  glob4[i] = glob4[i + 1];
+}
+int main(void)
+{
+  int i;
+  for (int k = 0; k < 256; k++)
+    glob4[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 255; i++)
+    shiftleft(i * 1);
+  return 0;
+}
+"#,
+            true,
+            vec![sp(("glob4[i + 1]", Op::R, 0), ("glob4[i]", Op::W, 0))],
+        )
+        .behavior(ToolBehavior::EvadesStatic),
+    );
+
+    v.push(
+        Builder::new(
+            "globalptr-alias-var-yes",
+            Category::Aliasing,
+            "A global pointer aliases the array across statement distance.",
+            r#"
+double field2[128];
+double* view;
+int main(void)
+{
+  int i;
+  view = field2;
+  for (int k = 0; k < 128; k++)
+    field2[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 127; i++)
+    field2[i] = view[i + 1] * 0.5;
+  return 0;
+}
+"#,
+            true,
+            vec![sp(("view[i + 1]", Op::R, 0), ("field2[i]", Op::W, 0))],
+        )
+        .behavior(ToolBehavior::EvadesStatic),
+    );
+
+    v.push(
+        Builder::new(
+            "singlelocal-task-var-yes",
+            Category::Tasks,
+            "Tasks share a block-scope local of the single construct; the generator mutates it.",
+            r#"
+int sink4[64];
+int main(void)
+{
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      int cursor;
+      cursor = 0;
+      for (int t = 0; t < 8; t++) {
+        #pragma omp task
+        {
+          sink4[cursor] = cursor;
+        }
+        cursor = cursor + 8;
+      }
+    }
+  }
+  return 0;
+}
+"#,
+            true,
+            vec![sp(("cursor", Op::R, 1), ("cursor", Op::W, 1))],
+        )
+        .behavior(ToolBehavior::EvadesStatic),
+    );
+
+    // 2: interprocedural races the inliner does see (Standard).
+    v.push(Builder::new(
+        "interproc-arrayhelper-var-yes",
+        Category::Interprocedural,
+        "The helper performs the neighbour read that makes the loop carried.",
+        r#"
+int series[200];
+void relax(int i)
+{
+  series[i] = series[i + 1] + 1;
+}
+int main(void)
+{
+  int i;
+  for (int k = 0; k < 200; k++)
+    series[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 199; i++)
+    relax(i);
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("series[i + 1]", Op::R, 0), ("series[i]", Op::W, 0))],
+    ));
+    v.push(Builder::new(
+        "interproc-flagsetter-var-yes",
+        Category::Interprocedural,
+        "A helper sets a shared flag from every thread.",
+        r#"
+int seen;
+void note(void)
+{
+  seen = seen + 1;
+}
+int main(void)
+{
+  seen = 0;
+  #pragma omp parallel
+  {
+    note();
+  }
+  return seen;
+}
+"#,
+        true,
+        vec![sp(("seen", Op::R, 0), ("seen", Op::W, 0))],
+    ));
+
+    // 2: unprotected array-element accumulations.
+    for c in [0, 9] {
+        v.push(Builder::new(
+            &format!("criticalmissing-elem{c}-var-yes"),
+            Category::MissingSync,
+            "All threads accumulate into one array element without protection.",
+            &format!(
+                r#"
+int cells[16];
+int main(void)
+{{
+  for (int k = 0; k < 16; k++)
+    cells[k] = 0;
+  #pragma omp parallel
+  {{
+    cells[{c}] = cells[{c}] + 1;
+  }}
+  return cells[{c}];
+}}
+"#
+            ),
+            true,
+            vec![sp(
+                (&format!("cells[{c}]"), Op::R, 0),
+                (&format!("cells[{c}]"), Op::W, 0),
+            )],
+        ));
+    }
+
+    // 1: Fibonacci-style double recurrence.
+    v.push(Builder::new(
+        "fibonacci-var-yes",
+        Category::TrueDep,
+        "A two-term recurrence parallelized incorrectly.",
+        r#"
+int main(void)
+{
+  int i;
+  long f[90];
+  f[0] = 0;
+  f[1] = 1;
+  #pragma omp parallel for
+  for (i = 2; i < 90; i++)
+    f[i] = f[i - 1] + f[i - 2];
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("f[i - 1]", Op::R, 0), ("f[i]", Op::W, 0))],
+    ));
+
+    // 2: schedule-variant recurrences.
+    for (tag, sched) in [("dynamic1", "schedule(dynamic)"), ("staticchunk2", "schedule(static, 2)")]
+    {
+        v.push(Builder::new(
+            &format!("scheduledep-{tag}-var-yes"),
+            Category::BarrierStructure,
+            "A carried dependence under an explicit schedule clause.",
+            &format!(
+                r#"
+int main(void)
+{{
+  int i;
+  int s[256];
+  for (int k = 0; k < 256; k++)
+    s[k] = k;
+  #pragma omp parallel for {sched}
+  for (i = 0; i < 255; i++)
+    s[i] = s[i + 1] + 1;
+  return 0;
+}}
+"#
+            ),
+            true,
+            vec![sp(("s[i + 1]", Op::R, 0), ("s[i]", Op::W, 0))],
+        ));
+    }
+
+    // 1: atomic read paired with plain write.
+    v.push(Builder::new(
+        "atomicread-plainwrite-var-yes",
+        Category::MissingSync,
+        "A reader uses omp atomic read but the writer stores plainly.",
+        r#"
+int level;
+int probe2[16];
+int main(void)
+{
+  level = 0;
+  #pragma omp parallel
+  {
+    if (omp_get_thread_num() == 0) {
+      level = 3;
+    } else {
+      int got;
+      #pragma omp atomic read
+      got = level;
+      probe2[omp_get_thread_num()] = got;
+    }
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("level", Op::W, 1), ("level", Op::R, 0))],
+    ));
+
+    // 1: master init variant with array payload.
+    v.push(Builder::new(
+        "masterinit-array-var-yes",
+        Category::OnceConstructs,
+        "master fills a table that the team reads without an intervening barrier.",
+        r#"
+int table2[32];
+int out3[32];
+int main(void)
+{
+  #pragma omp parallel num_threads(8)
+  {
+    #pragma omp master
+    {
+      for (int k = 0; k < 32; k++)
+        table2[k] = k * k;
+    }
+    out3[omp_get_thread_num()] = table2[omp_get_thread_num()];
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("table2[k]", Op::W, 0), ("table2[omp_get_thread_num()]", Op::R, 0))],
+    ));
+
+    // 1: flush-only signalling variant.
+    v.push(Builder::new(
+        "flush-pipeline-var-yes",
+        Category::MissingSync,
+        "A two-stage pipeline hand-off guarded only by flush.",
+        r#"
+double stagebuf;
+int done;
+int main(void)
+{
+  stagebuf = 0.0;
+  done = 0;
+  #pragma omp parallel
+  {
+    if (omp_get_thread_num() == 0) {
+      stagebuf = 3.14;
+      #pragma omp flush
+      done = 1;
+    } else {
+      if (done == 1) {
+        double local;
+        local = stagebuf * 2.0;
+      }
+    }
+  }
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("stagebuf", Op::W, 1), ("stagebuf", Op::R, 0))],
+    ));
+
+    // 1: 2D row-overlap write/read.
+    v.push(Builder::new(
+        "rowoverlap2d-var-yes",
+        Category::Stencil,
+        "Each outer iteration writes its row and reads the next row while a neighbour writes it.",
+        r#"
+int main(void)
+{
+  int i, j;
+  double grid2[26][26];
+  for (int k = 0; k < 26; k++)
+    for (int m = 0; m < 26; m++)
+      grid2[k][m] = k * m;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < 25; i++)
+    for (j = 0; j < 26; j++)
+      grid2[i][j] = grid2[i + 1][j] + 1.0;
+  return 0;
+}
+"#,
+        true,
+        vec![sp(("grid2[i + 1][j]", Op::R, 0), ("grid2[i][j]", Op::W, 0))],
+    ));
+
+    v
+}
+
+/// Race-free variants (exactly 39 kernels — all of them the FP bank:
+/// runtime-disjoint patterns a static tool cannot prove safe).
+pub fn no_variants() -> Vec<Builder> {
+    let mut v = Vec::new();
+
+    // ---- FP bank: 39 runtime-safe, statically-opaque kernels ----
+
+    // 8: modular permutations a[(K*i + C) % N] with gcd(K, N) = 1.
+    for (kk, cc, n) in [
+        (3, 0, 64),
+        (5, 1, 64),
+        (7, 3, 128),
+        (9, 2, 128),
+        (11, 5, 256),
+        (13, 7, 256),
+        (17, 4, 96),
+        (23, 9, 100),
+    ] {
+        v.push(
+            Builder::new(
+                &format!("modperm-k{kk}c{cc}n{n}-var-no"),
+                Category::Indirect,
+                "Modular permutation subscript: one writer per element, opaque to static analysis.",
+                &format!(
+                    r#"
+int main(void)
+{{
+  int i;
+  double a[{n}];
+  for (int k = 0; k < {n}; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < {n}; i++)
+    a[({kk} * i + {cc}) % {n}] = i * 2.0;
+  return 0;
+}}
+"#
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 6: index-array permutations (gather/scatter).
+    for (m, c, n) in
+        [(37, 11, 64), (41, 3, 64), (29, 17, 128), (53, 5, 128), (61, 1, 96), (19, 7, 96)]
+    {
+        v.push(
+            Builder::new(
+                &format!("idxperm-m{m}c{c}n{n}-var-no"),
+                Category::Indirect,
+                "Scatter through a precomputed permutation: disjoint at runtime.",
+                &format!(
+                    r#"
+int main(void)
+{{
+  int i;
+  int idx[{n}];
+  double a[{n}];
+  for (int k = 0; k < {n}; k++) {{
+    idx[k] = (k * {m} + {c}) % {n};
+    a[k] = 0.0;
+  }}
+  #pragma omp parallel for
+  for (i = 0; i < {n}; i++)
+    a[idx[i]] = i + 1.0;
+  return 0;
+}}
+"#
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 4: dead branches — the conflicting write can never execute.
+    for (tag, guard, modv) in [
+        ("gt", "d[i] > 200", 10),
+        ("eq", "d[i] == 77", 9),
+        ("lt", "d[i] < -5", 12),
+        ("div", "d[i] / 100 == 9", 8),
+    ] {
+        v.push(
+            Builder::new(
+                &format!("deadbranch-{tag}-var-no"),
+                Category::Control,
+                "The shared write hides behind a branch the data never takes.",
+                &format!(
+                    r#"
+int hitvar;
+int main(void)
+{{
+  int i;
+  int d[100];
+  for (int k = 0; k < 100; k++)
+    d[k] = k % {modv};
+  hitvar = -1;
+  #pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    if ({guard})
+      hitvar = i;
+  return hitvar;
+}}
+"#
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 3: exactly one iteration writes the scalar.
+    for pick in [0, 17, 63] {
+        v.push(
+            Builder::new(
+                &format!("singlewriter-i{pick}-var-no"),
+                Category::Control,
+                "Exactly one iteration writes the scalar: no concurrent writers.",
+                &format!(
+                    r#"
+int chosen;
+int main(void)
+{{
+  int i;
+  double a[64];
+  for (int k = 0; k < 64; k++)
+    a[k] = k;
+  chosen = 0;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    if (i == {pick})
+      chosen = i + 1;
+  return chosen;
+}}
+"#
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 4: thread-id-sliced buffers in plain parallel regions.
+    for (tag, stride) in [("flat", 1), ("pad2", 2), ("pad4", 4), ("pad8", 8)] {
+        v.push(
+            Builder::new(
+                &format!("tidslice-{tag}-var-no"),
+                Category::Privatization,
+                "Each thread writes its own (padded) slot, indexed by thread id.",
+                &format!(
+                    r#"
+double slots2[256];
+int main(void)
+{{
+  #pragma omp parallel num_threads(8)
+  {{
+    int me;
+    me = omp_get_thread_num();
+    slots2[me * {stride}] = me * 1.5;
+    slots2[me * {stride}] = slots2[me * {stride}] + 1.0;
+  }}
+  return 0;
+}}
+"#
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 4: symbolic window splits, disjoint at runtime.
+    for (tag, off_expr, wlen) in [
+        ("half", "n / 2 + argc - 1", 64),
+        ("third", "2 * (n / 3) + argc - 1", 42),
+        ("quarter", "3 * (n / 4) + argc - 1", 32),
+        ("fixed", "96 + argc - 1", 32),
+    ] {
+        v.push(
+            Builder::new(
+                &format!("symbolicwindow-{tag}-var-no"),
+                Category::Symbolic,
+                "Write window and read window split at a symbolic offset: disjoint at runtime.",
+                &format!(
+                    r#"
+int main(int argc, char* argv[])
+{{
+  int i;
+  int n = 128;
+  int split = {off_expr};
+  double a[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < {wlen}; i++)
+    a[i] = a[i + split] * 0.5;
+  return 0;
+}}
+"#
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 3: nowait between loops over disjoint windows of one array.
+    for (tag, n) in [("a", 64), ("b", 96), ("c", 128)] {
+        v.push(
+            Builder::new(
+                &format!("nowait-windows-{tag}-var-no"),
+                Category::BarrierStructure,
+                "nowait between worksharing loops touching disjoint halves of one array.",
+                &format!(
+                    r#"
+int main(void)
+{{
+  int i, j;
+  double a[{total}];
+  for (int k = 0; k < {total}; k++)
+    a[k] = k;
+  #pragma omp parallel
+  {{
+    #pragma omp for nowait
+    for (i = 0; i < {n}; i++)
+      a[i] = a[i] + 1.0;
+    #pragma omp for
+    for (j = 0; j < {n}; j++)
+      a[j + {n}] = a[j + {n}] * 2.0;
+  }}
+  return 0;
+}}
+"#,
+                    total = 2 * n
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 2: tasks scattering through firstprivate-derived disjoint slots.
+    for (tag, mul, m) in [("m3", 3, 8), ("m5", 5, 16)] {
+        v.push(
+            Builder::new(
+                &format!("taskscatter-{tag}-var-no"),
+                Category::Tasks,
+                "Loop-spawned tasks write modularly-distinct slots (firstprivate index).",
+                &format!(
+                    r#"
+int cells2[{m}];
+int main(void)
+{{
+  #pragma omp parallel
+  {{
+    #pragma omp single
+    {{
+      int t;
+      for (t = 0; t < {m}; t++) {{
+        #pragma omp task firstprivate(t)
+        {{
+          cells2[({mul} * t) % {m}] = t;
+        }}
+      }}
+    }}
+  }}
+  return cells2[0];
+}}
+"#
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 2: master writes slot 0, team writes slots tid+1.
+    for (tag, width) in [("w16", 16), ("w32", 32)] {
+        v.push(
+            Builder::new(
+                &format!("masterslice-{tag}-var-no"),
+                Category::OnceConstructs,
+                "master and team write provably different slots of one array.",
+                &format!(
+                    r#"
+int echo2[{width}];
+int cfg2;
+int main(void)
+{{
+  cfg2 = 9;
+  #pragma omp parallel num_threads(8)
+  {{
+    #pragma omp master
+    {{
+      echo2[0] = cfg2;
+    }}
+    echo2[omp_get_thread_num() + 1] = cfg2;
+  }}
+  return 0;
+}}
+"#
+                ),
+                false,
+                vec![],
+            )
+            .behavior(ToolBehavior::TripsStatic),
+        );
+    }
+
+    // 1: disguised identity permutation.
+    v.push(
+        Builder::new(
+            "disguised-identity-var-no",
+            Category::Indirect,
+            "a[2*(i/2) + i%2] is just a[i], but no static tool simplifies it.",
+            r#"
+int main(void)
+{
+  int i;
+  double a[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 128; i++)
+    a[2 * (i / 2) + i % 2] = a[2 * (i / 2) + i % 2] + 1.0;
+  return 0;
+}
+"#,
+            false,
+            vec![],
+        )
+        .behavior(ToolBehavior::TripsStatic),
+    );
+
+    // 1: sections over computed disjoint halves.
+    v.push(
+        Builder::new(
+            "sections-computedhalves-var-no",
+            Category::Sections,
+            "Two sections update halves selected by computed bounds.",
+            r#"
+int data2[128];
+int half2;
+int main(void)
+{
+  half2 = 64;
+  #pragma omp parallel sections
+  {
+    #pragma omp section
+    {
+      for (int i = 0; i < 64; i++)
+        data2[i] = i;
+    }
+    #pragma omp section
+    {
+      for (int j = 0; j < 64; j++)
+        data2[j + half2] = j;
+    }
+  }
+  return data2[0];
+}
+"#,
+            false,
+            vec![],
+        )
+        .behavior(ToolBehavior::TripsStatic),
+    );
+
+    // 1: parity-striped writes (disjoint by parity, opaque to tools).
+    v.push(
+        Builder::new(
+            "paritystripe-var-no",
+            Category::Control,
+            "Even iterations write even cells, odd write odd: disjoint by parity.",
+            r#"
+int main(void)
+{
+  int i;
+  double a[128];
+  for (int k = 0; k < 128; k++)
+    a[k] = k;
+  #pragma omp parallel for
+  for (i = 0; i < 128; i++) {
+    if (i % 2 == 0)
+      a[i % 2 + 2 * (i / 2)] = 1.0;
+    else
+      a[i % 2 + 2 * (i / 2)] = 2.0;
+  }
+  return 0;
+}
+"#,
+            false,
+            vec![],
+        )
+        .behavior(ToolBehavior::TripsStatic),
+    );
+
+    v
+}

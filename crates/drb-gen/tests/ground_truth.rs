@@ -1,0 +1,111 @@
+//! Ground-truth validation: every kernel's race label must agree with
+//! the dynamic happens-before checker (the oracle), modulo the
+//! explicitly-marked unmodeled kernels; and the static detector's
+//! failures must be exactly the kernels designed to defeat it.
+
+use drb_gen::{corpus, Kernel, ToolBehavior};
+use hbsan::Config;
+
+fn dynamic_verdict(k: &Kernel) -> Result<bool, String> {
+    let unit = minic::parse(&k.trimmed_code).map_err(|e| format!("{}: {e}", k.name))?;
+    let report = hbsan::check_adversarial(&unit, &Config::default(), &[1, 7, 23])
+        .map_err(|e| format!("{}: {e}", k.name))?;
+    Ok(report.has_race())
+}
+
+#[test]
+fn dynamic_checker_agrees_with_labels() {
+    let mut failures = Vec::new();
+    for k in corpus() {
+        if k.behavior == ToolBehavior::DynUnmodeled {
+            continue;
+        }
+        match dynamic_verdict(k) {
+            Ok(found) => {
+                if found != k.race {
+                    failures.push(format!(
+                        "{}: label={} hbsan={}",
+                        k.name, k.race, found
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("{}: runtime error: {e}", k.name)),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} ground-truth mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_kernel_executes_without_runtime_error() {
+    for k in corpus() {
+        let unit = minic::parse(&k.trimmed_code).unwrap();
+        hbsan::run(&unit, &Config::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    }
+}
+
+#[test]
+fn static_detector_failures_match_design() {
+    let mut unexpected = Vec::new();
+    for k in corpus() {
+        let report = racecheck::check_source(&k.trimmed_code)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let found = report.has_race();
+        match k.behavior {
+            ToolBehavior::EvadesStatic => {
+                // Designed false negative.
+                if found {
+                    unexpected.push(format!("{}: expected static FN but race found", k.name));
+                }
+            }
+            ToolBehavior::TripsStatic => {
+                // Designed false positive.
+                if !found {
+                    unexpected
+                        .push(format!("{}: expected static FP but no race reported", k.name));
+                }
+            }
+            ToolBehavior::Standard | ToolBehavior::DynUnmodeled => {
+                if found != k.race {
+                    unexpected.push(format!(
+                        "{}: label={} static={} (behavior Standard)",
+                        k.name, k.race, found
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        unexpected.is_empty(),
+        "{} static-detector surprises:\n{}",
+        unexpected.len(),
+        unexpected.join("\n")
+    );
+}
+
+#[test]
+fn augmented_kernels_preserve_labels_under_the_oracle() {
+    // Sampled sweep: every mutant's dynamic verdict matches the
+    // original's ground-truth label.
+    let mut checked = 0;
+    for k in corpus().iter().step_by(11) {
+        if k.behavior == ToolBehavior::DynUnmodeled {
+            continue;
+        }
+        for m in drb_gen::augment(k, 99) {
+            let unit = minic::parse(&m.trimmed_code)
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let verdict = hbsan::check_adversarial(&unit, &Config::default(), &[1, 7])
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name))
+                .has_race();
+            assert_eq!(verdict, m.race, "{}", m.name);
+            checked += 1;
+        }
+    }
+    assert!(checked > 30, "only {checked} mutants validated");
+}

@@ -1,0 +1,151 @@
+//! DRB-ML dataset assembly, filtering, and (de)serialization.
+//!
+//! §3.2: the experiments use the subset of entries whose trimmed code
+//! fits the 4k-token prompt budget — 198 of 201, split 100 race-yes /
+//! 98 race-no (§3.5 quotes 50.5% / 49.5%).
+
+use crate::entry::DrbMlEntry;
+use llm::KernelView;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// The whole DRB-ML dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// All entries, in id order.
+    pub entries: Vec<DrbMlEntry>,
+}
+
+impl Dataset {
+    /// Build the dataset from the generated corpus (cached).
+    pub fn generate() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| Dataset {
+            entries: drb_gen::corpus().iter().map(DrbMlEntry::from_kernel).collect(),
+        })
+    }
+
+    /// Entries that fit the 4k prompt budget (the evaluation subset).
+    pub fn subset_4k(&self) -> Vec<&DrbMlEntry> {
+        self.entries.iter().filter(|e| e.fits_prompt_budget()).collect()
+    }
+
+    /// (positive, negative) counts of a slice of entries.
+    pub fn label_counts<'a>(entries: impl IntoIterator<Item = &'a DrbMlEntry>) -> (usize, usize) {
+        let mut yes = 0;
+        let mut no = 0;
+        for e in entries {
+            if e.data_race == 1 {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        (yes, no)
+    }
+
+    /// Surrogate views for the evaluation subset, difficulty included.
+    pub fn subset_views(&self) -> Vec<KernelView> {
+        let kernels = drb_gen::corpus();
+        self.subset_4k()
+            .iter()
+            .map(|e| {
+                let cat = kernels
+                    .iter()
+                    .find(|k| k.id == e.id)
+                    .map(|k| k.category.difficulty())
+                    .unwrap_or(0.5);
+                e.to_view(cat)
+            })
+            .collect()
+    }
+
+    /// Write one JSON file per entry (`DRB-ML-xxx.json`), mirroring the
+    /// paper's "201 JSON files" layout, plus an `index.json`.
+    pub fn export_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut names = Vec::new();
+        for e in &self.entries {
+            let file = format!("DRB-ML-{:03}.json", e.id);
+            let path = dir.join(&file);
+            std::fs::write(&path, serde_json::to_string_pretty(e)?)?;
+            names.push(file);
+        }
+        std::fs::write(dir.join("index.json"), serde_json::to_string_pretty(&names)?)?;
+        Ok(())
+    }
+
+    /// Read a dataset back from an exported directory.
+    pub fn import_dir(dir: &Path) -> std::io::Result<Dataset> {
+        let names: Vec<String> =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("index.json"))?)?;
+        let mut entries = Vec::with_capacity(names.len());
+        for n in names {
+            let e: DrbMlEntry = serde_json::from_str(&std::fs::read_to_string(dir.join(n))?)?;
+            entries.push(e);
+        }
+        entries.sort_by_key(|e| e.id);
+        Ok(Dataset { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_201_entries() {
+        let ds = Dataset::generate();
+        assert_eq!(ds.entries.len(), 201);
+    }
+
+    #[test]
+    fn token_filter_keeps_198() {
+        let ds = Dataset::generate();
+        let subset = ds.subset_4k();
+        assert_eq!(subset.len(), 198, "the 4k filter must drop exactly 3 entries");
+        let (yes, no) = Dataset::label_counts(subset.iter().copied());
+        assert_eq!((yes, no), (100, 98), "paper §3.5: 100 positive / 98 negative");
+    }
+
+    #[test]
+    fn dropped_entries_are_the_oversized_trio() {
+        let ds = Dataset::generate();
+        let dropped: Vec<&DrbMlEntry> =
+            ds.entries.iter().filter(|e| !e.fits_prompt_budget()).collect();
+        assert_eq!(dropped.len(), 3);
+        assert!(dropped.iter().all(|e| e.name.contains("oversized")), "{dropped:?}");
+    }
+
+    #[test]
+    fn subset_positive_share_matches_paper() {
+        // §3.5: roughly 50.5% positive / 49.5% negative.
+        let ds = Dataset::generate();
+        let subset = ds.subset_4k();
+        let (yes, _) = Dataset::label_counts(subset.iter().copied());
+        let share = yes as f64 / subset.len() as f64;
+        assert!((share - 0.505).abs() < 0.001, "{share}");
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let dir = std::env::temp_dir().join("drbml_test_export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ds = Dataset::generate();
+        ds.export_dir(&dir).unwrap();
+        assert!(dir.join("DRB-ML-001.json").exists());
+        assert!(dir.join("DRB-ML-201.json").exists());
+        let back = Dataset::import_dir(&dir).unwrap();
+        assert_eq!(*ds, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn views_align_with_subset() {
+        let ds = Dataset::generate();
+        let views = ds.subset_views();
+        assert_eq!(views.len(), 198);
+        assert!(views.iter().all(|v| v.difficulty > 0.0 && v.difficulty < 1.0));
+    }
+}

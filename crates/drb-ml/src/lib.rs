@@ -1,0 +1,26 @@
+//! `drb-ml` — the DRB-ML dataset (paper §3.1).
+//!
+//! Derives a machine-learning-ready dataset from the `drb-gen` corpus:
+//! one JSON entry per microbenchmark with the Table-1 keys, the 4k-token
+//! evaluation subset (198 of 201 entries, 100 race-yes / 98 race-no),
+//! the prompt templates of Listings 4–7, and the fine-tuning
+//! prompt–response pairs of Listings 8–9.
+//!
+//! ```
+//! use drb_ml::Dataset;
+//! let ds = Dataset::generate();
+//! assert_eq!(ds.entries.len(), 201);
+//! assert_eq!(ds.subset_4k().len(), 198);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod entry;
+pub mod prompts;
+pub mod stats;
+
+pub use dataset::Dataset;
+pub use entry::{DrbMlEntry, VarPairJson};
+pub use prompts::{detection_pair, render, varid_pair, PromptResponse};
+pub use stats::{stats, DatasetStats};

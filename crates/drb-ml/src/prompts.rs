@@ -1,0 +1,151 @@
+//! Prompt templates (paper Listings 3–9).
+//!
+//! Five strategies drive the experiments: BP1/BP2 (Table 2), p1/p2/p3
+//! (Table 3), plus the fine-tuning prompt–response pairs (Listings 8
+//! and 9). Template texts follow the listings.
+
+use crate::entry::DrbMlEntry;
+use llm::PromptStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Basic prompt template 1 (Listing 4): succinct yes/no.
+pub const BP1_TEMPLATE: &str = "\
+You are an expert in High-Performance Computing. Examine the code presented to you and ascertain if it contains any data races.
+Begin with a concise response: either 'yes' for the presence of a data race or 'no' if absent.
+
+{Code_to_analyze}";
+
+/// Basic prompt template 2 (Listing 5): yes/no plus JSON variable pairs.
+pub const BP2_TEMPLATE: &str = "\
+You are an expert in High-Performance Computing. Examine the code presented to you and ascertain if it contains any data races.
+Begin with a concise response: either 'yes' for the presence of a data race or 'no' if absent.
+Detail each occurrence of a data race by specifying the variable pairs involved, using the JSON format outlined below:
+\"variable_names\": Names of each pair of variables involved in a data race.
+\"variable_locations\": line numbers of the paired variables within the code.
+\"operation_types\": Corresponding operations, either 'write' or 'read'.
+
+{Code_to_analyze}";
+
+/// Prompt p2 (Listing 6): tool-emulating, dependence-analysis first.
+pub const P2_TEMPLATE: &str = "\
+You are an expert in High-Performance Computing (HPC). Examine the provided code to identify any data races based on data dependence analysis.
+For clarity, a data race occurs when two or more threads access the same memory location simultaneously in a conflicting manner, without sufficient synchronization, with at least one of these accesses involving a write operation. It's crucial to analyze data dependence before determining potential data races.
+Begin with a concise response: either 'yes' for the presence of a data race or 'no' if absent.
+
+{Code_to_analyze}";
+
+/// Prompt p3, first turn (Listing 7): request dependence analysis.
+pub const P3_TURN1_TEMPLATE: &str = "\
+You are an expert in High-Performance Computing (HPC). Analyze data dependence in the given code.
+
+{Code_to_analyze}";
+
+/// Prompt p3, second turn (Listing 7): decide from the analysis.
+pub const P3_TURN2_TEMPLATE: &str = "\
+A data race occurs when two or more threads access the same memory location simultaneously in a conflicting manner, without sufficient synchronization, with at least one of these accesses involving a write operation. Identify any data races based on the given data dependence information.
+Begin with a concise response: either 'yes' for the presence of a data race or 'no' if absent.";
+
+/// Render a strategy's prompt turns for a code snippet.
+pub fn render(strategy: PromptStrategy, code: &str) -> Vec<String> {
+    let fill = |t: &str| t.replace("{Code_to_analyze}", code);
+    match strategy {
+        PromptStrategy::Bp1 | PromptStrategy::P1 => vec![fill(BP1_TEMPLATE)],
+        PromptStrategy::Bp2 => vec![fill(BP2_TEMPLATE)],
+        PromptStrategy::P2 => vec![fill(P2_TEMPLATE)],
+        PromptStrategy::P3 => vec![fill(P3_TURN1_TEMPLATE), P3_TURN2_TEMPLATE.to_string()],
+    }
+}
+
+/// A fine-tuning prompt–response pair (Listings 8 and 9).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PromptResponse {
+    /// The instruction + code.
+    pub prompt: String,
+    /// The target completion.
+    pub response: String,
+}
+
+/// Listing-8 pair: detection fine-tuning (`yes`/`no` targets).
+pub fn detection_pair(e: &DrbMlEntry) -> PromptResponse {
+    PromptResponse {
+        prompt: render(PromptStrategy::P1, &e.trimmed_code).remove(0),
+        response: if e.data_race == 1 { "yes".to_string() } else { "no".to_string() },
+    }
+}
+
+/// Listing-9 pair: variable-identification fine-tuning (JSON targets).
+pub fn varid_pair(e: &DrbMlEntry) -> PromptResponse {
+    let prompt = render(PromptStrategy::Bp2, &e.trimmed_code).remove(0);
+    let response = if e.data_race == 1 {
+        let p = &e.var_pairs[0];
+        format!(
+            "yes\n{{\n  \"data_race\": 1,\n  \"variable_names\": [\"{}\", \"{}\"],\n  \"variable_locations\": [{}, {}],\n  \"operation_types\": [\"{}\", \"{}\"]\n}}",
+            p.name[0],
+            p.name[1],
+            p.line[0],
+            p.line[1],
+            op_word(&p.operation[0]),
+            op_word(&p.operation[1]),
+        )
+    } else {
+        "no\n{\n  \"data_race\": 0\n}".to_string()
+    };
+    PromptResponse { prompt, response }
+}
+
+fn op_word(letter: &str) -> &'static str {
+    if letter.eq_ignore_ascii_case("w") {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::DrbMlEntry;
+
+    #[test]
+    fn p1_renders_single_turn_with_code() {
+        let turns = render(PromptStrategy::P1, "int main() { return 0; }");
+        assert_eq!(turns.len(), 1);
+        assert!(turns[0].contains("int main()"));
+        assert!(turns[0].contains("concise response"));
+    }
+
+    #[test]
+    fn p3_renders_two_turns() {
+        let turns = render(PromptStrategy::P3, "code");
+        assert_eq!(turns.len(), 2);
+        assert!(turns[0].contains("Analyze data dependence"));
+        assert!(!turns[1].contains("{Code_to_analyze}"));
+    }
+
+    #[test]
+    fn bp2_mentions_json_keys() {
+        let turns = render(PromptStrategy::Bp2, "code");
+        assert!(turns[0].contains("variable_names"));
+        assert!(turns[0].contains("operation_types"));
+    }
+
+    #[test]
+    fn detection_pairs_have_yes_no_targets() {
+        for k in drb_gen::corpus().iter().take(10) {
+            let e = DrbMlEntry::from_kernel(k);
+            let pr = detection_pair(&e);
+            assert_eq!(pr.response == "yes", k.race);
+            assert!(pr.prompt.contains(&e.trimmed_code[..20.min(e.trimmed_code.len())]));
+        }
+    }
+
+    #[test]
+    fn varid_pairs_embed_ground_truth() {
+        let k = drb_gen::corpus().iter().find(|k| k.race).unwrap();
+        let e = DrbMlEntry::from_kernel(k);
+        let pr = varid_pair(&e);
+        assert!(pr.response.starts_with("yes"));
+        assert!(pr.response.contains("variable_locations"));
+        assert!(pr.response.contains(&e.var_pairs[0].name[0]));
+    }
+}

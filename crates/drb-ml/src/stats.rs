@@ -1,0 +1,116 @@
+//! Dataset statistics: the summary numbers the paper quotes in §3.2 and
+//! §3.5 (counts, class balance, token sizes), plus per-category
+//! breakdowns for the corpus audit in `examples/dataset_export.rs`.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate statistics over a dataset slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Entry count.
+    pub entries: usize,
+    /// Race-yes count.
+    pub positives: usize,
+    /// Race-no count.
+    pub negatives: usize,
+    /// Positive share.
+    pub positive_share: f64,
+    /// Token count: minimum.
+    pub tokens_min: usize,
+    /// Token count: median.
+    pub tokens_median: usize,
+    /// Token count: maximum.
+    pub tokens_max: usize,
+    /// `code_len` (string length) mean.
+    pub code_len_mean: f64,
+    /// Entries per pattern category.
+    pub per_category: BTreeMap<String, usize>,
+    /// Race-yes entries per category.
+    pub per_category_positive: BTreeMap<String, usize>,
+}
+
+/// Compute statistics for the full dataset or the 4k subset.
+pub fn stats(subset_only: bool) -> DatasetStats {
+    let ds = Dataset::generate();
+    let corpus = drb_gen::corpus();
+    let entries: Vec<&crate::DrbMlEntry> = if subset_only {
+        ds.subset_4k()
+    } else {
+        ds.entries.iter().collect()
+    };
+
+    let mut tokens: Vec<usize> = entries.iter().map(|e| e.token_count()).collect();
+    tokens.sort_unstable();
+    let positives = entries.iter().filter(|e| e.data_race == 1).count();
+    let mut per_category = BTreeMap::new();
+    let mut per_category_positive = BTreeMap::new();
+    for e in &entries {
+        let cat = corpus
+            .iter()
+            .find(|k| k.id == e.id)
+            .map(|k| k.category.as_str().to_string())
+            .unwrap_or_else(|| "unknown".into());
+        *per_category.entry(cat.clone()).or_insert(0) += 1;
+        if e.data_race == 1 {
+            *per_category_positive.entry(cat).or_insert(0) += 1;
+        }
+    }
+    DatasetStats {
+        entries: entries.len(),
+        positives,
+        negatives: entries.len() - positives,
+        positive_share: positives as f64 / entries.len().max(1) as f64,
+        tokens_min: tokens.first().copied().unwrap_or(0),
+        tokens_median: tokens.get(tokens.len() / 2).copied().unwrap_or(0),
+        tokens_max: tokens.last().copied().unwrap_or(0),
+        code_len_mean: entries.iter().map(|e| e.code_len as f64).sum::<f64>()
+            / entries.len().max(1) as f64,
+        per_category,
+        per_category_positive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_stats_match_paper() {
+        let s = stats(true);
+        assert_eq!(s.entries, 198);
+        assert_eq!(s.positives, 100);
+        assert_eq!(s.negatives, 98);
+        // §3.5: roughly 50.5% positive.
+        assert!((s.positive_share - 0.505).abs() < 0.001);
+        // Everything fits the 4k prompt budget.
+        assert!(s.tokens_max < llm::PROMPT_TOKEN_LIMIT);
+    }
+
+    #[test]
+    fn full_stats_include_oversized() {
+        let s = stats(false);
+        assert_eq!(s.entries, 201);
+        assert!(s.tokens_max >= llm::PROMPT_TOKEN_LIMIT, "{}", s.tokens_max);
+    }
+
+    #[test]
+    fn categories_cover_the_taxonomy() {
+        let s = stats(false);
+        assert!(s.per_category.len() >= 15, "{:?}", s.per_category.keys());
+        let total: usize = s.per_category.values().sum();
+        assert_eq!(total, 201);
+        let pos_total: usize = s.per_category_positive.values().sum();
+        assert_eq!(pos_total, 101);
+    }
+
+    #[test]
+    fn medians_are_plausible() {
+        let s = stats(true);
+        assert!(s.tokens_min > 10);
+        assert!(s.tokens_median > s.tokens_min);
+        assert!(s.tokens_median < s.tokens_max);
+        assert!(s.code_len_mean > 100.0);
+    }
+}

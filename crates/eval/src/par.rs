@@ -1,0 +1,77 @@
+//! Work-stealing-lite parallel map built on crossbeam scoped threads.
+//!
+//! Model × prompt × 198-kernel sweeps are embarrassingly parallel; this
+//! helper fans work out over a small pool with an atomic work index
+//! (dynamic scheduling — exactly the construct the corpus studies).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel map preserving input order.
+pub fn par_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send + Default + Clone,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    let mut out = vec![U::default(); n];
+    if workers <= 1 || n <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            out[i] = f(item);
+        }
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let out_slots: Vec<parking_lot::Mutex<Option<U>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(&items[i]);
+                *out_slots[i].lock() = Some(v);
+            });
+        }
+    })
+    .expect("worker panicked");
+    for (slot, dst) in out_slots.into_iter().zip(out.iter_mut()) {
+        *dst = slot.into_inner().expect("every slot filled");
+    }
+    out
+}
+
+/// Reasonable worker count for sweeps.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&items, 8, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let items: Vec<u64> = (0..100).collect();
+        let a = par_map(&items, 1, |x| x + 7);
+        let b = par_map(&items, 8, |x| x + 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = vec![];
+        let out: Vec<u64> = par_map(&items, 4, |x| *x);
+        assert!(out.is_empty());
+    }
+}

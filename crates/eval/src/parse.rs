@@ -1,0 +1,313 @@
+//! LLM output parsing (the paper's §4.5 "Natural Language Output
+//! Processing" challenge).
+//!
+//! Responses arrive as free text, well-formed JSON, or something in
+//! between. The pipeline therefore parses in layers: (1) leading
+//! yes/no extraction with keyword fallback; (2) strict JSON pair
+//! extraction; (3) a hand-rolled pattern scanner (the "regular
+//! expressions" the authors fell back to) for prose and malformed JSON.
+//! Parsing never panics — malformed input degrades to `None`s.
+
+use serde::{Deserialize, Serialize};
+
+/// Detection verdict extracted from a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The model asserts a race.
+    Yes,
+    /// The model asserts no race.
+    No,
+    /// Could not extract a verdict.
+    Unknown,
+}
+
+/// Extract the yes/no verdict.
+pub fn parse_verdict(response: &str) -> Verdict {
+    let t = response.trim().to_lowercase();
+    // Layer 1: leading token.
+    for prefix in ["yes", "**yes", "\"yes"] {
+        if t.starts_with(prefix) {
+            return Verdict::Yes;
+        }
+    }
+    for prefix in ["no", "**no", "\"no"] {
+        if t.starts_with(prefix) {
+            return Verdict::No;
+        }
+    }
+    // Layer 2: keyword scan (first clear signal wins).
+    let yes_markers = [
+        "there is a data race",
+        "exhibits a data race",
+        "exhibits data race",
+        "contains a data race",
+        "data race is present",
+        "potential data race",
+        "race condition exists",
+        "\"data_race\": 1",
+    ];
+    let no_markers = [
+        "no data race",
+        "does not contain a data race",
+        "free of data races",
+        "not contain any data race",
+        "iterations are independent",
+        "\"data_race\": 0",
+    ];
+    let yes_pos = yes_markers.iter().filter_map(|m| t.find(m)).min();
+    let no_pos = no_markers.iter().filter_map(|m| t.find(m)).min();
+    match (yes_pos, no_pos) {
+        (Some(y), Some(n)) => {
+            if y <= n {
+                Verdict::Yes
+            } else {
+                Verdict::No
+            }
+        }
+        (Some(_), None) => Verdict::Yes,
+        (None, Some(_)) => Verdict::No,
+        (None, None) => Verdict::Unknown,
+    }
+}
+
+/// A parsed variable pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedPair {
+    /// Variable names (usually two).
+    pub names: Vec<String>,
+    /// Line numbers.
+    pub lines: Vec<u32>,
+    /// Operations (`"write"`/`"read"`).
+    pub ops: Vec<String>,
+}
+
+/// Extract variable-pair info from a response: strict JSON first, then
+/// the fallback scanner.
+pub fn parse_pairs(response: &str) -> Option<ParsedPair> {
+    parse_pairs_json(response).or_else(|| parse_pairs_fallback(response))
+}
+
+/// Strict layer: find a JSON object and deserialize the known keys.
+fn parse_pairs_json(response: &str) -> Option<ParsedPair> {
+    let start = response.find('{')?;
+    let end = response.rfind('}')?;
+    if end <= start {
+        return None;
+    }
+    #[derive(Deserialize)]
+    struct Wire {
+        #[serde(default)]
+        variable_names: Vec<String>,
+        #[serde(default)]
+        variable_locations: Vec<u32>,
+        #[serde(default)]
+        operation_types: Vec<String>,
+    }
+    let w: Wire = serde_json::from_str(&response[start..=end]).ok()?;
+    if w.variable_names.is_empty() {
+        return None;
+    }
+    Some(ParsedPair {
+        names: w.variable_names,
+        lines: w.variable_locations,
+        ops: w.operation_types.iter().map(|o| normalize_op(o)).collect(),
+    })
+}
+
+/// Fallback layer: scan quoted strings after the known keys, numbers
+/// after location keys, and prose like `variable 'x' at line 9`.
+fn parse_pairs_fallback(response: &str) -> Option<ParsedPair> {
+    // Malformed-JSON path: key-driven scanning.
+    if let Some(names) = scan_string_list(response, "variable_names") {
+        let lines = scan_number_list(response, "variable_locations").unwrap_or_default();
+        let ops = scan_string_list(response, "operation_types")
+            .unwrap_or_default()
+            .iter()
+            .map(|o| normalize_op(o))
+            .collect();
+        return Some(ParsedPair { names, lines, ops });
+    }
+    // Prose path: "variable 'x' at line 9 … variable 'y' at line 12".
+    let mut names = Vec::new();
+    let mut lines = Vec::new();
+    let lower = response.to_lowercase();
+    let mut cursor = 0;
+    while let Some(pos) = lower[cursor..].find("variable '") {
+        let abs = cursor + pos + "variable '".len();
+        let Some(endq) = response[abs..].find('\'') else { break };
+        names.push(response[abs..abs + endq].to_string());
+        // Look for "line <num>" after the name.
+        let after = &lower[abs + endq..];
+        if let Some(lp) = after.find("line") {
+            let digits: String = after[lp + 4..]
+                .chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let Ok(n) = digits.parse() {
+                lines.push(n);
+            }
+        }
+        cursor = abs + endq;
+    }
+    if names.is_empty() {
+        return None;
+    }
+    // Prose ops: look for read/write mentions in order.
+    let mut ops = Vec::new();
+    for marker in ["first access is a ", "second is a ", "second access is a "] {
+        if let Some(p) = lower.find(marker) {
+            let rest = &lower[p + marker.len()..];
+            if rest.starts_with("write") {
+                ops.push("write".to_string());
+            } else if rest.starts_with("read") {
+                ops.push("read".to_string());
+            }
+        }
+    }
+    if ops.is_empty() {
+        let w = lower.matches("write").count();
+        let r = lower.matches("read").count();
+        if w > 0 || r > 0 {
+            // Ambiguous; note both as unknown-but-present.
+            ops = vec!["write".to_string(); w.min(2)];
+            ops.extend(vec!["read".to_string(); r.min(2usize.saturating_sub(ops.len()))]);
+        }
+    }
+    Some(ParsedPair { names, lines, ops })
+}
+
+fn normalize_op(o: &str) -> String {
+    let l = o.trim().to_lowercase();
+    if l.starts_with('w') {
+        "write".to_string()
+    } else if l.starts_with('r') {
+        "read".to_string()
+    } else {
+        l
+    }
+}
+
+/// Scan `"key": [ "a[i]", "b" ]` lists without requiring valid JSON.
+/// Quote-aware: `]` inside a quoted string (array subscripts!) does not
+/// terminate the list.
+fn scan_string_list(text: &str, key: &str) -> Option<Vec<String>> {
+    let kpos = text.find(key)?;
+    let rest = &text[kpos + key.len()..];
+    let open = rest.find('[')?;
+    let mut out = Vec::new();
+    let mut in_string = false;
+    let mut cur = String::new();
+    for c in rest[open + 1..].chars() {
+        if in_string {
+            if c == '"' {
+                in_string = false;
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            in_string = true;
+        } else if c == ']' {
+            break;
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Scan `"key": [ 12, 14 ]` numeric lists.
+fn scan_number_list(text: &str, key: &str) -> Option<Vec<u32>> {
+    let kpos = text.find(key)?;
+    let rest = &text[kpos + key.len()..];
+    let open = rest.find('[')?;
+    let close = rest[open..].find(']')? + open;
+    let body = &rest[open + 1..close];
+    let mut out = Vec::new();
+    let mut digits = String::new();
+    for c in body.chars() {
+        if c.is_ascii_digit() {
+            digits.push(c);
+        } else if !digits.is_empty() {
+            out.push(digits.parse().ok()?);
+            digits.clear();
+        }
+    }
+    if !digits.is_empty() {
+        out.push(digits.parse().ok()?);
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leading_verdicts() {
+        assert_eq!(parse_verdict("Yes."), Verdict::Yes);
+        assert_eq!(parse_verdict("no — the loop is clean"), Verdict::No);
+        assert_eq!(parse_verdict("  YES, definitely"), Verdict::Yes);
+    }
+
+    #[test]
+    fn keyword_fallback() {
+        assert_eq!(
+            parse_verdict("After careful analysis, there is a data race on x."),
+            Verdict::Yes
+        );
+        assert_eq!(
+            parse_verdict("I examined the loop; it is free of data races."),
+            Verdict::No
+        );
+        assert_eq!(parse_verdict("I cannot tell."), Verdict::Unknown);
+    }
+
+    #[test]
+    fn json_pairs_parse() {
+        let resp = "yes\n{\n  \"data_race\": 1,\n  \"variable_names\": [\"a[i]\", \"a[i + 1]\"],\n  \"variable_locations\": [14, 14],\n  \"operation_types\": [\"write\", \"read\"]\n}";
+        let p = parse_pairs(resp).unwrap();
+        assert_eq!(p.names, vec!["a[i]", "a[i + 1]"]);
+        assert_eq!(p.lines, vec![14, 14]);
+        assert_eq!(p.ops, vec!["write", "read"]);
+    }
+
+    #[test]
+    fn malformed_json_falls_back() {
+        // Unquoted key + trailing comma: serde_json fails, scanner works.
+        let resp = "yes\n{\n  data_race: 1,\n  \"variable_names\": [\"x\", \"x\"],\n  \"variable_locations\": [9, 26],\n  \"operation_types\": [\"write\", \"write\"],\n}";
+        let p = parse_pairs(resp).unwrap();
+        assert_eq!(p.names, vec!["x", "x"]);
+        assert_eq!(p.lines, vec![9, 26]);
+    }
+
+    #[test]
+    fn prose_pairs_parse() {
+        // Listing-3 style response.
+        let resp = "Yes, the provided code exhibits data race issues. The data race is caused by the variable 'x' at line 9 and the variable 'x' at line 26. The first access is a write and the second is a write.";
+        let p = parse_pairs(resp).unwrap();
+        assert_eq!(p.names, vec!["x", "x"]);
+        assert_eq!(p.lines, vec![9, 26]);
+        assert_eq!(p.ops[0], "write");
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for junk in ["", "{{{{", "][", "yes {\"variable_names\": [}", "∀x∃y"] {
+            let _ = parse_verdict(junk);
+            let _ = parse_pairs(junk);
+        }
+    }
+
+    #[test]
+    fn no_pairs_in_refusal() {
+        assert_eq!(parse_pairs("No, I did not find any data race in this code."), None);
+    }
+}

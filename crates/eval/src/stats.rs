@@ -1,0 +1,151 @@
+//! Paired significance testing for model comparisons.
+//!
+//! The paper reports point metrics only; a production evaluation harness
+//! should also say whether "GPT-4 beats GPT-3.5" survives the 198-sample
+//! noise. [`mcnemar_exact`] implements the exact (binomial) McNemar test
+//! on paired correct/incorrect outcomes — the standard test for two
+//! classifiers evaluated on the same items.
+
+use serde::{Deserialize, Serialize};
+
+/// Discordant-pair counts for two classifiers A and B on the same items.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairedOutcomes {
+    /// Items both classified correctly.
+    pub both_right: u32,
+    /// A right, B wrong.
+    pub a_only: u32,
+    /// B right, A wrong.
+    pub b_only: u32,
+    /// Both wrong.
+    pub both_wrong: u32,
+}
+
+impl PairedOutcomes {
+    /// Tally from paired (a_correct, b_correct) observations.
+    pub fn tally(pairs: impl IntoIterator<Item = (bool, bool)>) -> PairedOutcomes {
+        let mut o = PairedOutcomes::default();
+        for (a, b) in pairs {
+            match (a, b) {
+                (true, true) => o.both_right += 1,
+                (true, false) => o.a_only += 1,
+                (false, true) => o.b_only += 1,
+                (false, false) => o.both_wrong += 1,
+            }
+        }
+        o
+    }
+
+    /// Total items.
+    pub fn total(&self) -> u32 {
+        self.both_right + self.a_only + self.b_only + self.both_wrong
+    }
+}
+
+/// log(n!) via the log-gamma series (adequate for n ≤ a few thousand).
+fn ln_factorial(n: u32) -> f64 {
+    (1..=n as u64).map(|k| (k as f64).ln()).sum()
+}
+
+fn ln_choose(n: u32, k: u32) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Exact McNemar test: two-sided p-value for the hypothesis that the two
+/// classifiers have equal error rates, computed from the discordant
+/// pairs (binomial with p = 1/2).
+pub fn mcnemar_exact(o: &PairedOutcomes) -> f64 {
+    let n = o.a_only + o.b_only;
+    if n == 0 {
+        return 1.0;
+    }
+    let k = o.a_only.min(o.b_only);
+    // P(X ≤ k) for X ~ Binomial(n, 1/2), doubled (two-sided), capped at 1.
+    let ln_half_n = -(n as f64) * std::f64::consts::LN_2;
+    let mut tail = 0.0;
+    for i in 0..=k {
+        tail += (ln_choose(n, i) + ln_half_n).exp();
+    }
+    (2.0 * tail).min(1.0)
+}
+
+/// Convenience: compare two prediction vectors against shared truths.
+pub fn compare_classifiers(
+    truths: &[bool],
+    preds_a: &[bool],
+    preds_b: &[bool],
+) -> (PairedOutcomes, f64) {
+    assert_eq!(truths.len(), preds_a.len());
+    assert_eq!(truths.len(), preds_b.len());
+    let o = PairedOutcomes::tally(
+        truths
+            .iter()
+            .zip(preds_a.iter().zip(preds_b))
+            .map(|(t, (a, b))| (a == t, b == t)),
+    );
+    let p = mcnemar_exact(&o);
+    (o, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_classifiers_p_is_one() {
+        let o = PairedOutcomes { both_right: 80, a_only: 0, b_only: 0, both_wrong: 20 };
+        assert_eq!(mcnemar_exact(&o), 1.0);
+    }
+
+    #[test]
+    fn balanced_discordance_not_significant() {
+        let o = PairedOutcomes { both_right: 50, a_only: 10, b_only: 10, both_wrong: 30 };
+        assert!(mcnemar_exact(&o) > 0.5);
+    }
+
+    #[test]
+    fn lopsided_discordance_significant() {
+        let o = PairedOutcomes { both_right: 50, a_only: 25, b_only: 2, both_wrong: 21 };
+        assert!(mcnemar_exact(&o) < 0.001, "{}", mcnemar_exact(&o));
+    }
+
+    #[test]
+    fn known_small_case() {
+        // a_only = 5, b_only = 1 → n=6, k=1: p = 2·(C(6,0)+C(6,1))/2^6
+        //  = 2·(1+6)/64 = 0.21875.
+        let o = PairedOutcomes { both_right: 0, a_only: 5, b_only: 1, both_wrong: 0 };
+        assert!((mcnemar_exact(&o) - 0.21875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tally_counts() {
+        let o = PairedOutcomes::tally([(true, true), (true, false), (false, true), (false, false)]);
+        assert_eq!(o, PairedOutcomes { both_right: 1, a_only: 1, b_only: 1, both_wrong: 1 });
+        assert_eq!(o.total(), 4);
+    }
+
+    #[test]
+    fn gpt4_vs_gpt35_on_the_corpus_is_significant() {
+        // The calibrated gap (F1 .751 vs .597 over 198 items) should be
+        // statistically detectable.
+        let views = drb_ml::Dataset::generate().subset_views();
+        let g4 = llm::Surrogate::new(llm::ModelKind::Gpt4, &views);
+        let g3 = llm::Surrogate::new(llm::ModelKind::Gpt35Turbo, &views);
+        let truths: Vec<bool> = views.iter().map(|v| v.race).collect();
+        let pa: Vec<bool> =
+            views.iter().map(|v| g4.predict(v, llm::PromptStrategy::P1)).collect();
+        let pb: Vec<bool> =
+            views.iter().map(|v| g3.predict(v, llm::PromptStrategy::P1)).collect();
+        let (o, p) = compare_classifiers(&truths, &pa, &pb);
+        assert!(o.total() == 198);
+        assert!(p < 0.01, "GPT-4 vs GPT-3.5 p = {p}");
+        // And SC p1 vs SC p2 (63 vs 62 TPs) should NOT be significant.
+        let sc = llm::Surrogate::new(llm::ModelKind::StarChatBeta, &views);
+        let p1: Vec<bool> =
+            views.iter().map(|v| sc.predict(v, llm::PromptStrategy::P1)).collect();
+        let p2: Vec<bool> =
+            views.iter().map(|v| sc.predict(v, llm::PromptStrategy::P2)).collect();
+        let (_, p) = compare_classifiers(&truths, &p1, &p2);
+        assert!(p > 0.05, "SC p1 vs p2 p = {p}");
+    }
+}

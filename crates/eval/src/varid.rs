@@ -1,0 +1,301 @@
+//! Variable-identification experiments (S2/S3).
+//!
+//! A response counts as a true positive only when the pair info is
+//! *fully* correct — names, line numbers, and operations (§4.3's strict
+//! standard, which is why Table 5's scores collapse to 0.06–0.19).
+
+use crate::metrics::Confusion;
+use crate::par::{default_workers, par_map};
+use crate::parse::{parse_pairs, ParsedPair};
+use llm::{KernelView, Surrogate};
+
+/// Normalize an lvalue text for comparison (whitespace-insensitive).
+fn norm(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Does a parsed response exactly match some ground-truth pair?
+pub fn pair_matches(parsed: &ParsedPair, k: &KernelView) -> bool {
+    if parsed.names.len() < 2 || parsed.lines.len() < 2 || parsed.ops.len() < 2 {
+        return false;
+    }
+    let cand = [
+        (
+            norm(&parsed.names[0]),
+            parsed.lines[0],
+            parsed.ops[0].as_str(),
+            norm(&parsed.names[1]),
+            parsed.lines[1],
+            parsed.ops[1].as_str(),
+        ),
+        // Allow the two sides in either order.
+        (
+            norm(&parsed.names[1]),
+            parsed.lines[1],
+            parsed.ops[1].as_str(),
+            norm(&parsed.names[0]),
+            parsed.lines[0],
+            parsed.ops[0].as_str(),
+        ),
+    ];
+    k.pairs.iter().any(|p| {
+        let truth = (
+            norm(&p.names.0),
+            p.lines.0,
+            p.ops.0.as_str(),
+            norm(&p.names.1),
+            p.lines.1,
+            p.ops.1.as_str(),
+        );
+        cand.iter().any(|c| {
+            c.0 == truth.0
+                && c.1 == truth.1
+                && c.2 == truth.2
+                && c.3 == truth.3
+                && c.4 == truth.4
+                && c.5 == truth.5
+        })
+    })
+}
+
+/// How much of the pair information matched (the paper's S2 vs S3
+/// scenarios: S2 = the right variables, S3 = full name/line/operation
+/// detail).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchLevel {
+    /// Nothing matched (or no pairs given).
+    #[default]
+    None,
+    /// Variable names match some ground-truth pair (S2).
+    NamesOnly,
+    /// Names, lines, and operations all match (S3).
+    Full,
+}
+
+/// Classify a parsed response against the ground truth.
+pub fn match_level(parsed: &ParsedPair, k: &KernelView) -> MatchLevel {
+    if pair_matches(parsed, k) {
+        return MatchLevel::Full;
+    }
+    if parsed.names.len() >= 2 {
+        let c0 = norm(&parsed.names[0]);
+        let c1 = norm(&parsed.names[1]);
+        let names_match = k.pairs.iter().any(|p| {
+            let t0 = norm(&p.names.0);
+            let t1 = norm(&p.names.1);
+            (c0 == t0 && c1 == t1) || (c0 == t1 && c1 == t0)
+        });
+        if names_match {
+            return MatchLevel::NamesOnly;
+        }
+    }
+    MatchLevel::None
+}
+
+use serde::{Deserialize, Serialize};
+
+/// One kernel's var-id exchange.
+#[derive(Debug, Clone, Default)]
+pub struct VarIdExchange {
+    /// Kernel id.
+    pub id: u32,
+    /// Raw response.
+    pub response: String,
+    /// Whether the response contained pair info at all.
+    pub gave_pairs: bool,
+    /// Whether that info matched the ground truth exactly.
+    pub fully_correct: bool,
+    /// Ground truth.
+    pub truth: bool,
+}
+
+/// Run variable identification scored at both S2 (names) and S3 (full
+/// detail) levels. Returns `(s2, s3)` confusions.
+pub fn run_varid_levels(surrogate: &Surrogate, views: &[KernelView]) -> (Confusion, Confusion) {
+    let levels = par_map(views, default_workers(), |k| {
+        let response = surrogate.answer_varid(k);
+        let parsed = parse_pairs(&response);
+        let gave = parsed.is_some();
+        let level = parsed.as_ref().map(|p| match_level(p, k)).unwrap_or(MatchLevel::None);
+        (k.race, gave, level)
+    });
+    let mut s2 = Confusion::default();
+    let mut s3 = Confusion::default();
+    for (race, gave, level) in levels {
+        if race {
+            if level == MatchLevel::Full {
+                s3.tp += 1;
+            } else {
+                s3.fn_ += 1;
+            }
+            if level != MatchLevel::None {
+                s2.tp += 1;
+            } else {
+                s2.fn_ += 1;
+            }
+        } else {
+            if gave {
+                s2.fp += 1;
+                s3.fp += 1;
+            } else {
+                s2.tn += 1;
+                s3.tn += 1;
+            }
+        }
+    }
+    (s2, s3)
+}
+
+/// Run variable identification for one model over a subset.
+///
+/// Cells per the paper's Table-5 definitions: TP = race-yes with fully
+/// correct pair info; TN = race-no without invented pair info.
+pub fn run_varid(surrogate: &Surrogate, views: &[KernelView]) -> (Confusion, Vec<VarIdExchange>) {
+    let exchanges = par_map(views, default_workers(), |k| {
+        let response = surrogate.answer_varid(k);
+        let parsed = parse_pairs(&response);
+        let gave_pairs = parsed.is_some();
+        let fully_correct = parsed.as_ref().is_some_and(|p| pair_matches(p, k));
+        VarIdExchange { id: k.id, response, gave_pairs, fully_correct, truth: k.race }
+    });
+    let mut c = Confusion::default();
+    for e in &exchanges {
+        if e.truth {
+            if e.fully_correct {
+                c.tp += 1;
+            } else {
+                c.fn_ += 1;
+            }
+        } else if e.gave_pairs {
+            c.fp += 1;
+        } else {
+            c.tn += 1;
+        }
+    }
+    (c, exchanges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drb_ml::Dataset;
+    use llm::{ModelKind, PairView};
+
+    fn kv(pairs: Vec<PairView>) -> KernelView {
+        KernelView { id: 1, trimmed_code: String::new(), race: true, pairs, difficulty: 0.5 }
+    }
+
+    #[test]
+    fn exact_match_required() {
+        let truth = PairView {
+            names: ("a[i + 1]".into(), "a[i]".into()),
+            lines: (7, 7),
+            ops: ("read".into(), "write".into()),
+        };
+        let k = kv(vec![truth]);
+        let good = ParsedPair {
+            names: vec!["a[i+1]".into(), "a[i]".into()], // whitespace-insensitive
+            lines: vec![7, 7],
+            ops: vec!["read".into(), "write".into()],
+        };
+        assert!(pair_matches(&good, &k));
+        let wrong_line = ParsedPair {
+            names: vec!["a[i+1]".into(), "a[i]".into()],
+            lines: vec![8, 7],
+            ops: vec!["read".into(), "write".into()],
+        };
+        assert!(!pair_matches(&wrong_line, &k));
+        let wrong_op = ParsedPair {
+            names: vec!["a[i+1]".into(), "a[i]".into()],
+            lines: vec![7, 7],
+            ops: vec!["write".into(), "write".into()],
+        };
+        assert!(!pair_matches(&wrong_op, &k));
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let truth = PairView {
+            names: ("x".into(), "y".into()),
+            lines: (3, 5),
+            ops: ("write".into(), "read".into()),
+        };
+        let k = kv(vec![truth]);
+        let swapped = ParsedPair {
+            names: vec!["y".into(), "x".into()],
+            lines: vec![5, 3],
+            ops: vec!["read".into(), "write".into()],
+        };
+        assert!(pair_matches(&swapped, &k));
+    }
+
+    #[test]
+    fn varid_counts_match_calibration() {
+        let views = Dataset::generate().subset_views();
+        let s = Surrogate::new(ModelKind::Gpt4, &views);
+        let (c, _) = run_varid(&s, &views);
+        assert_eq!(c.tp + c.fn_, 100);
+        assert_eq!(c.fp + c.tn, 98);
+        // Paper Table 5, GPT4: TP 14, TN 67 (small tolerance: the pair
+        // matcher is strict and parsing is lossy by design).
+        assert!((c.tp as i64 - 14).abs() <= 2, "{c}");
+        assert!((c.tn as i64 - 67).abs() <= 2, "{c}");
+    }
+}
+
+#[cfg(test)]
+mod level_tests {
+    use super::*;
+    use drb_ml::Dataset;
+    use llm::ModelKind;
+
+    #[test]
+    fn s2_dominates_s3() {
+        // Getting the names right is strictly easier than full detail —
+        // the paper's §4.3 point that line numbers are where models fail.
+        let views = Dataset::generate().subset_views();
+        for m in ModelKind::ALL {
+            let s = Surrogate::new(m, &views);
+            let (s2, s3) = run_varid_levels(&s, &views);
+            assert!(s2.tp >= s3.tp, "{m:?}: S2 {s2} vs S3 {s3}");
+            assert!(s2.f1() >= s3.f1(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn s3_equals_table5_definition() {
+        let views = Dataset::generate().subset_views();
+        let s = Surrogate::new(ModelKind::Gpt4, &views);
+        let (_, s3) = run_varid_levels(&s, &views);
+        let (t5, _) = run_varid(&s, &views);
+        assert_eq!(s3, t5);
+    }
+
+    #[test]
+    fn names_only_classified_correctly() {
+        let truth = llm::PairView {
+            names: ("a[i]".into(), "a[i + 1]".into()),
+            lines: (7, 7),
+            ops: ("write".into(), "read".into()),
+        };
+        let k = KernelView {
+            id: 1,
+            trimmed_code: String::new(),
+            race: true,
+            pairs: vec![truth],
+            difficulty: 0.5,
+        };
+        let wrong_lines = ParsedPair {
+            names: vec!["a[i]".into(), "a[i+1]".into()],
+            lines: vec![9, 9],
+            ops: vec!["write".into(), "read".into()],
+        };
+        assert_eq!(match_level(&wrong_lines, &k), MatchLevel::NamesOnly);
+        let all_wrong = ParsedPair {
+            names: vec!["q".into(), "z".into()],
+            lines: vec![9, 9],
+            ops: vec!["write".into(), "read".into()],
+        };
+        assert_eq!(match_level(&all_wrong, &k), MatchLevel::None);
+    }
+}

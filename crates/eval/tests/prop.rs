@@ -1,0 +1,73 @@
+//! Property tests: metric identities, parser totality, and parallel-map
+//! equivalence.
+
+use eval::{par_map, parse_pairs, parse_verdict, Confusion};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn metrics_are_bounded(tp in 0u32..500, fp in 0u32..500, tn in 0u32..500, fn_ in 0u32..500) {
+        let c = Confusion { tp, fp, tn, fn_ };
+        for v in [c.recall(), c.precision(), c.f1(), c.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        // F1 lies between min and max of P and R (harmonic mean property).
+        let (r, p) = (c.recall(), c.precision());
+        if r > 0.0 && p > 0.0 {
+            prop_assert!(c.f1() <= r.max(p) + 1e-12);
+            prop_assert!(c.f1() >= r.min(p) - 1e-12 || c.f1() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn record_accumulates(truths in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..100)) {
+        let mut c = Confusion::default();
+        for &(t, p) in &truths {
+            c.record(t, p);
+        }
+        prop_assert_eq!(c.total() as usize, truths.len());
+        let tp = truths.iter().filter(|&&(t, p)| t && p).count();
+        prop_assert_eq!(c.tp as usize, tp);
+    }
+
+    #[test]
+    fn merge_is_addition(
+        a in (0u32..100, 0u32..100, 0u32..100, 0u32..100),
+        b in (0u32..100, 0u32..100, 0u32..100, 0u32..100),
+    ) {
+        let mut x = Confusion { tp: a.0, fp: a.1, tn: a.2, fn_: a.3 };
+        let y = Confusion { tp: b.0, fp: b.1, tn: b.2, fn_: b.3 };
+        x.merge(&y);
+        prop_assert_eq!(x.total(), a.0 + a.1 + a.2 + a.3 + b.0 + b.1 + b.2 + b.3);
+    }
+
+    #[test]
+    fn verdict_parser_total(s in "\\PC{0,400}") {
+        let _ = parse_verdict(&s);
+    }
+
+    #[test]
+    fn pair_parser_total(s in "\\PC{0,400}") {
+        let _ = parse_pairs(&s);
+    }
+
+    #[test]
+    fn pair_parser_total_on_jsonish(s in "[{}\\[\\]\",:a-z0-9_ \n]{0,300}") {
+        let _ = parse_pairs(&s);
+    }
+
+    #[test]
+    fn leading_yes_no_always_wins(rest in "[ -~]{0,100}") {
+        prop_assert_eq!(parse_verdict(&format!("yes {rest}")), eval::Verdict::Yes);
+        prop_assert_eq!(parse_verdict(&format!("No, {rest}")), eval::Verdict::No);
+    }
+
+    #[test]
+    fn par_map_equals_serial(xs in proptest::collection::vec(0i64..1000, 0..200), w in 1usize..9) {
+        let serial: Vec<i64> = xs.iter().map(|x| x * 3 + 1).collect();
+        let parallel = par_map(&xs, w, |x| x * 3 + 1);
+        prop_assert_eq!(serial, parallel);
+    }
+}

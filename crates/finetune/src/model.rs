@@ -1,0 +1,238 @@
+//! The fine-tunable model: a frozen (quantized) base head plus a
+//! LoRA-style low-rank adapter.
+//!
+//! QLoRA (paper §3.4) freezes 4-bit-quantized base weights and learns a
+//! low-rank additive delta. At our scale the "base model" is the
+//! surrogate's detection head: a linear layer fitted once to mimic the
+//! pre-trained model's answers, then 4-bit quantized and frozen.
+//! Fine-tuning trains `ΔW = (α/r)·B·A` (rank `r`, scale `α`) with
+//! dropout on the input — structurally the same recipe.
+
+use serde::{Deserialize, Serialize};
+
+/// Logistic sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// 4-bit absmax quantization of a weight vector (NF4-flavoured grid).
+pub fn quantize_4bit(w: &[f64]) -> Vec<f64> {
+    let absmax = w.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    if absmax == 0.0 {
+        return w.to_vec();
+    }
+    w.iter()
+        .map(|x| {
+            let q = (x / absmax * 7.0).round().clamp(-8.0, 7.0);
+            q / 7.0 * absmax
+        })
+        .collect()
+}
+
+/// A rank-`r` adapter over a `dim`-wide linear head.
+///
+/// The effective weight applied to input `x` is
+/// `w_base + (alpha / r) * B A` where `A ∈ R^{r×dim}`, `B ∈ R^{1×r}`
+/// (we only need a scalar output head).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoraHead {
+    /// Frozen base weights (quantized).
+    pub w_base: Vec<f64>,
+    /// Frozen base bias.
+    pub b_base: f64,
+    /// Adapter down-projection, `r × dim` (row-major).
+    pub a: Vec<f64>,
+    /// Adapter up-projection, `1 × r`.
+    pub b: Vec<f64>,
+    /// Adapter rank.
+    pub rank: usize,
+    /// LoRA scale α.
+    pub alpha: f64,
+}
+
+impl LoraHead {
+    /// Wrap a base head; the adapter starts at zero (B = 0), so the
+    /// fine-tuned model initially equals the base model.
+    pub fn new(w_base: Vec<f64>, b_base: f64, rank: usize, alpha: f64, seed: u64) -> LoraHead {
+        let dim = w_base.len();
+        let mut rng = crate::train::Rng::new(seed);
+        // A ~ small random (like LoRA's gaussian init), B = 0.
+        let a: Vec<f64> =
+            (0..rank * dim).map(|_| (rng.uniform() - 0.5) * 0.02).collect();
+        let b = vec![0.0; rank];
+        LoraHead { w_base: quantize_4bit(&w_base), b_base, a, b, rank, alpha }
+    }
+
+    /// Dimension of the input features.
+    pub fn dim(&self) -> usize {
+        self.w_base.len()
+    }
+
+    /// Raw logit for an input.
+    pub fn logit(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim());
+        let mut z = self.b_base;
+        for (w, xi) in self.w_base.iter().zip(x) {
+            z += w * xi;
+        }
+        // Adapter path: B (A x) * alpha / r.
+        let scale = self.alpha / self.rank.max(1) as f64;
+        for r in 0..self.rank {
+            let mut ax = 0.0;
+            let row = &self.a[r * self.dim()..(r + 1) * self.dim()];
+            for (a, xi) in row.iter().zip(x) {
+                ax += a * xi;
+            }
+            z += scale * self.b[r] * ax;
+        }
+        z
+    }
+
+    /// Probability of the positive class.
+    pub fn prob(&self, x: &[f64]) -> f64 {
+        sigmoid(self.logit(x))
+    }
+
+    /// Adapter gradients for one example (cross-entropy loss) without
+    /// applying them. Returns `(grad_a, grad_b, loss)`.
+    pub fn grads(&self, x: &[f64], y: f64, dropout_mask: &[bool]) -> (Vec<f64>, Vec<f64>, f64) {
+        let dim = self.dim();
+        let xd: Vec<f64> =
+            x.iter().zip(dropout_mask).map(|(v, keep)| if *keep { *v } else { 0.0 }).collect();
+        let p = self.prob(&xd);
+        let err = p - y; // dL/dz for cross-entropy + sigmoid
+        let scale = self.alpha / self.rank.max(1) as f64;
+        let ax: Vec<f64> = (0..self.rank)
+            .map(|r| {
+                let row = &self.a[r * dim..(r + 1) * dim];
+                row.iter().zip(&xd).map(|(a, xi)| a * xi).sum()
+            })
+            .collect();
+        // dz/dB_r = scale·(A x)_r ; dz/dA_rj = scale·B_r·x_j
+        let mut ga = vec![0.0; self.rank * dim];
+        let mut gb = vec![0.0; self.rank];
+        for r in 0..self.rank {
+            gb[r] = err * scale * ax[r];
+            let brow = self.b[r];
+            for (j, xi) in xd.iter().enumerate() {
+                ga[r * dim + j] = err * scale * brow * xi;
+            }
+        }
+        let eps = 1e-12;
+        let loss = -(y * (p + eps).ln() + (1.0 - y) * (1.0 - p + eps).ln());
+        (ga, gb, loss)
+    }
+
+    /// Plain SGD step for one example (kept for tests/ablations);
+    /// training proper uses [`crate::adam::Adam`]. Returns the loss.
+    pub fn sgd_step(&mut self, x: &[f64], y: f64, lr: f64, dropout_mask: &[bool]) -> f64 {
+        let (ga, gb, loss) = self.grads(x, y, dropout_mask);
+        for (a, g) in self.a.iter_mut().zip(&ga) {
+            *a -= lr * g;
+        }
+        for (b, g) in self.b.iter_mut().zip(&gb) {
+            *b -= lr * g;
+        }
+        loss
+    }
+
+    /// One Adam step on the adapter.
+    pub fn adam_step(
+        &mut self,
+        x: &[f64],
+        y: f64,
+        opt_a: &mut crate::adam::Adam,
+        opt_b: &mut crate::adam::Adam,
+        dropout_mask: &[bool],
+    ) -> f64 {
+        let (ga, gb, loss) = self.grads(x, y, dropout_mask);
+        opt_a.step(&mut self.a, &ga);
+        opt_b.step(&mut self.b, &gb);
+        loss
+    }
+}
+
+/// Fit a plain logistic head by gradient descent (used to build the
+/// frozen base head that mimics the surrogate's behaviour).
+pub fn fit_base_head(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    epochs: usize,
+    lr: f64,
+    l2: f64,
+) -> (Vec<f64>, f64) {
+    let dim = xs.first().map(Vec::len).unwrap_or(0);
+    let mut w = vec![0.0f64; dim];
+    let mut b = 0.0f64;
+    for _ in 0..epochs {
+        for (x, y) in xs.iter().zip(ys) {
+            let mut z = b;
+            for (wi, xi) in w.iter().zip(x) {
+                z += wi * xi;
+            }
+            let err = sigmoid(z) - y;
+            for (wi, xi) in w.iter_mut().zip(x) {
+                *wi -= lr * (err * xi + l2 * *wi);
+            }
+            b -= lr * err;
+        }
+    }
+    (w, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(100.0) > 1.0 - 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_preserves_scale() {
+        let w = vec![0.5, -1.0, 0.25, 0.0];
+        let q = quantize_4bit(&w);
+        assert_eq!(q.len(), 4);
+        assert!((q[1] + 1.0).abs() < 1e-9); // absmax element is exact
+        for (a, b) in w.iter().zip(&q) {
+            assert!((a - b).abs() <= 1.0 / 7.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn adapter_starts_as_identity() {
+        let head = LoraHead::new(vec![1.0, -2.0], 0.5, 4, 16.0, 7);
+        let x = vec![0.3, 0.1];
+        let base_z = 0.5 + head.w_base[0] * 0.3 + head.w_base[1] * 0.1;
+        assert!((head.logit(&x) - base_z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_separates_separable_data() {
+        // y = 1 iff x0 > 0.
+        let xs: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 0.5]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let mut head = LoraHead::new(vec![0.0, 0.0], 0.0, 4, 16.0, 3);
+        let keep = vec![true; 2];
+        for _ in 0..200 {
+            for (x, y) in xs.iter().zip(&ys) {
+                head.sgd_step(x, *y, 0.5, &keep);
+            }
+        }
+        assert!(head.prob(&vec![1.0, 0.5]) > 0.9);
+        assert!(head.prob(&vec![-1.0, 0.5]) < 0.1);
+    }
+
+    #[test]
+    fn base_head_fits_linear_rule() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 2) as f64]).collect();
+        let ys: Vec<f64> = (0..50).map(|i| (i % 2) as f64).collect();
+        let (w, b) = fit_base_head(&xs, &ys, 300, 0.5, 0.0);
+        assert!(sigmoid(w[0] + b) > 0.85);
+        assert!(sigmoid(b) < 0.15);
+    }
+}

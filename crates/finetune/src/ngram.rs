@@ -1,0 +1,90 @@
+//! Hashed token n-gram features.
+//!
+//! Fine-tuning sees the code as a language model would: token streams.
+//! Unigrams and bigrams are feature-hashed into a fixed-width vector
+//! (signed hashing to keep collisions unbiased).
+
+/// Width of the hashed n-gram vector.
+pub const NGRAM_DIM: usize = 256;
+
+fn mix(h: u64) -> u64 {
+    let mut x = h;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a code snippet into a normalized n-gram vector.
+pub fn ngram_vector(code: &str) -> Vec<f64> {
+    let toks = llm::tokenize(code);
+    let mut v = vec![0.0f64; NGRAM_DIM];
+    let mut push = |h: u64| {
+        let m = mix(h);
+        let idx = (m % NGRAM_DIM as u64) as usize;
+        let sign = if (m >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+        v[idx] += sign;
+    };
+    for w in toks.windows(2) {
+        push(w[0].id as u64);
+        push(((w[0].id as u64) << 32) | w[1].id as u64);
+    }
+    if let Some(last) = toks.last() {
+        push(last.id as u64);
+    }
+    // L2 normalize so gradient scales are independent of code length.
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Full fine-tuning feature vector: hashed n-grams + structural features.
+pub fn feature_vector(code: &str) -> Vec<f64> {
+    let mut v = ngram_vector(code);
+    v.extend(llm::CodeFeatures::extract(code).to_vector());
+    v
+}
+
+/// Dimension of [`feature_vector`].
+pub const FEATURE_DIM: usize = NGRAM_DIM + llm::CodeFeatures::DIM;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_has_fixed_dim() {
+        let v = feature_vector("int main() { return 0; }");
+        assert_eq!(v.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = feature_vector("int x = 1;");
+        let b = feature_vector("int x = 1;");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_code_differs() {
+        let a = ngram_vector("#pragma omp critical");
+        let b = ngram_vector("#pragma omp atomic");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ngrams_are_normalized() {
+        let v = ngram_vector("int a; int b; int c; int d; int e;");
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_code_is_zero_ngrams() {
+        let v = ngram_vector("");
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+}

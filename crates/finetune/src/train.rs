@@ -1,0 +1,236 @@
+//! Training loop, configuration, and deterministic RNG.
+
+use crate::model::{fit_base_head, LoraHead};
+use crate::ngram::feature_vector;
+use llm::{KernelView, PromptStrategy, Surrogate};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 RNG (dependency-light determinism for shuffles/dropout).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Fine-tuning hyperparameters (paper §3.4: lr 2e-4 for Llama2,
+/// 9.65e-6 for StarChat, LoRA dim 64, dropout 0.1, batch 4 — our
+/// feature-space trainer rescales the learning rates but keeps the
+/// structure: frozen quantized base + low-rank adapter + dropout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Adapter learning rate.
+    pub lr: f64,
+    /// Training epochs over the fold's training split.
+    pub epochs: usize,
+    /// LoRA rank.
+    pub rank: usize,
+    /// LoRA α scale.
+    pub alpha: f64,
+    /// Input dropout probability.
+    pub dropout: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// How strongly the fine-tuned head is trusted over the base model
+    /// at inference (0 = pure base, 1 = pure adapter head). Small
+    /// values model the reality that 158 examples barely move a
+    /// billion-parameter model.
+    pub trust: f64,
+}
+
+impl TrainConfig {
+    /// Defaults for a model kind (mirrors the paper's per-model lrs).
+    pub fn for_model(kind: llm::ModelKind) -> TrainConfig {
+        match kind {
+            llm::ModelKind::Llama2_7b => TrainConfig {
+                lr: 0.008,
+                epochs: 10,
+                rank: 8,
+                alpha: 16.0,
+                dropout: 0.1,
+                seed: 2024,
+                trust: 0.12,
+            },
+            _ => TrainConfig {
+                lr: 0.004,
+                epochs: 5,
+                rank: 8,
+                alpha: 16.0,
+                dropout: 0.1,
+                seed: 4242,
+                trust: 0.18,
+            },
+        }
+    }
+}
+
+/// A fine-tuned detector: frozen base head mimicking the surrogate plus
+/// a trained adapter, blended by `trust`.
+#[derive(Debug, Clone)]
+pub struct FineTuned {
+    head: LoraHead,
+    trust: f64,
+    base: Vec<(u32, bool)>, // (kernel id, base prediction)
+}
+
+impl FineTuned {
+    /// Train on `train` (prompt–response pairs come from the dataset
+    /// layer; here we consume the views + labels directly, which is the
+    /// same information Listing 8 encodes).
+    pub fn train(
+        surrogate: &Surrogate,
+        train: &[KernelView],
+        cfg: &TrainConfig,
+    ) -> FineTuned {
+        // 1. Build the frozen base head: fit to the surrogate's own
+        //    answers (not the ground truth) — this is the "pre-trained
+        //    model" the adapter perturbs.
+        let xs: Vec<Vec<f64>> = train.iter().map(|k| feature_vector(&k.trimmed_code)).collect();
+        let base_ys: Vec<f64> = train
+            .iter()
+            .map(|k| f64::from(surrogate.predict(k, PromptStrategy::P1)))
+            .collect();
+        let (w0, b0) = fit_base_head(&xs, &base_ys, 12, 0.1, 1e-3);
+
+        // 2. LoRA fine-tuning on the ground-truth labels (Adam, as in
+        //    the paper's §3.4).
+        let mut head = LoraHead::new(w0, b0, cfg.rank, cfg.alpha, cfg.seed);
+        let mut rng = Rng::new(cfg.seed ^ 0xF17E);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let dim = head.dim();
+        let adam_cfg = crate::adam::AdamConfig { lr: cfg.lr, ..Default::default() };
+        let mut opt_a = crate::adam::Adam::new(cfg.rank * dim, adam_cfg);
+        let mut opt_b = crate::adam::Adam::new(cfg.rank, adam_cfg);
+        for _ in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let mask: Vec<bool> =
+                    (0..dim).map(|_| rng.uniform() >= cfg.dropout).collect();
+                let y = f64::from(train[i].race);
+                head.adam_step(&xs[i], y, &mut opt_a, &mut opt_b, &mask);
+            }
+        }
+
+        FineTuned {
+            head,
+            trust: cfg.trust,
+            base: train.iter().map(|k| (k.id, surrogate.predict(k, PromptStrategy::P1))).collect(),
+        }
+    }
+
+    /// Fine-tuned probability that a kernel is racy, blending the base
+    /// model's (calibrated) answer with the adapter head.
+    pub fn prob(&self, surrogate: &Surrogate, k: &KernelView) -> f64 {
+        let x = feature_vector(&k.trimmed_code);
+        let adapter = self.head.prob(&x);
+        let base = if surrogate.predict(k, PromptStrategy::P1) { 0.58 } else { 0.42 };
+        (1.0 - self.trust) * base + self.trust * adapter
+    }
+
+    /// Fine-tuned yes/no prediction.
+    pub fn predict(&self, surrogate: &Surrogate, k: &KernelView) -> bool {
+        self.prob(surrogate, k) > 0.5
+    }
+
+    /// Number of training examples seen.
+    pub fn train_size(&self) -> usize {
+        self.base.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm::ModelKind;
+
+    fn views(n: u32) -> Vec<KernelView> {
+        (1..=n)
+            .map(|id| {
+                let racy = id % 2 == 0;
+                let code = if racy {
+                    format!(
+                        "int a[100];\nint main(void)\n{{\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 99 - {}; i++)\n    a[i] = a[i + 1];\n  return 0;\n}}\n",
+                        id % 5
+                    )
+                } else {
+                    format!(
+                        "int a[100];\nint main(void)\n{{\n  int i;\n  #pragma omp parallel for\n  for (i = {}; i < 100; i++)\n    a[i] = a[i] * 2;\n  return 0;\n}}\n",
+                        id % 5
+                    )
+                };
+                KernelView {
+                    id,
+                    trimmed_code: code,
+                    race: racy,
+                    pairs: vec![],
+                    difficulty: (id % 9) as f64 / 9.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ks = views(40);
+        let s = Surrogate::new(ModelKind::StarChatBeta, &ks);
+        let cfg = TrainConfig::for_model(ModelKind::StarChatBeta);
+        let ft1 = FineTuned::train(&s, &ks, &cfg);
+        let ft2 = FineTuned::train(&s, &ks, &cfg);
+        for k in &ks {
+            assert!((ft1.prob(&s, k) - ft2.prob(&s, k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn finetuning_beats_base_on_separable_data() {
+        let ks = views(60);
+        let s = Surrogate::new(ModelKind::StarChatBeta, &ks);
+        let mut cfg = TrainConfig::for_model(ModelKind::StarChatBeta);
+        cfg.trust = 1.0; // pure adapter for this sanity check
+        cfg.epochs = 30;
+        let ft = FineTuned::train(&s, &ks, &cfg);
+        let correct = ks.iter().filter(|k| ft.predict(&s, k) == k.race).count();
+        let base_correct = ks
+            .iter()
+            .filter(|k| s.predict(k, PromptStrategy::P1) == k.race)
+            .count();
+        assert!(correct > base_correct, "{correct} vs {base_correct}");
+    }
+
+    #[test]
+    fn low_trust_stays_near_base() {
+        let ks = views(30);
+        let s = Surrogate::new(ModelKind::Llama2_7b, &ks);
+        let mut cfg = TrainConfig::for_model(ModelKind::Llama2_7b);
+        cfg.trust = 0.0;
+        let ft = FineTuned::train(&s, &ks, &cfg);
+        for k in &ks {
+            assert_eq!(ft.predict(&s, k), s.predict(k, PromptStrategy::P1));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the trainer: fold invariants over arbitrary label
+//! vectors, quantization error bounds, optimizer sanity.
+
+use finetune::{quantize_4bit, sigmoid, stratified_folds, LoraHead};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn folds_partition_any_labels(
+        labels in proptest::collection::vec(any::<bool>(), 5..200),
+        k in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let folds = stratified_folds(&labels, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![0u32; labels.len()];
+        for f in &folds {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+            // Train is the exact complement.
+            prop_assert_eq!(f.train.len() + f.test.len(), labels.len());
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each item in exactly one test fold");
+    }
+
+    #[test]
+    fn folds_balance_classes(
+        n_pos in 10usize..80,
+        n_neg in 10usize..80,
+        seed in 0u64..100,
+    ) {
+        let mut labels = vec![true; n_pos];
+        labels.extend(vec![false; n_neg]);
+        let folds = stratified_folds(&labels, 5, seed);
+        for f in &folds {
+            let pos = f.test.iter().filter(|&&i| labels[i]).count();
+            // Per-fold positives differ by at most 1 from the ideal share.
+            let ideal = n_pos as f64 / 5.0;
+            prop_assert!((pos as f64 - ideal).abs() <= 1.0, "{pos} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded(w in proptest::collection::vec(-10.0f64..10.0, 1..64)) {
+        let q = quantize_4bit(&w);
+        let absmax = w.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        for (a, b) in w.iter().zip(&q) {
+            prop_assert!((a - b).abs() <= absmax / 7.0 / 2.0 + 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantization_idempotent(w in proptest::collection::vec(-5.0f64..5.0, 1..32)) {
+        let q1 = quantize_4bit(&w);
+        let q2 = quantize_4bit(&q1);
+        for (a, b) in q1.iter().zip(&q2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sigmoid_monotone(a in -20.0f64..20.0, b in -20.0f64..20.0) {
+        if a < b {
+            prop_assert!(sigmoid(a) <= sigmoid(b));
+        }
+        prop_assert!((0.0..=1.0).contains(&sigmoid(a)));
+    }
+
+    #[test]
+    fn zero_adapter_is_identity(
+        pairs in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 1..16),
+        bias in -2.0f64..2.0,
+        seed in 0u64..50,
+    ) {
+        let (w, x): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let head = LoraHead::new(w.clone(), bias, 4, 16.0, seed);
+        let manual: f64 = bias + head.w_base.iter().zip(&x).map(|(a, b)| a * b).sum::<f64>();
+        prop_assert!((head.logit(&x) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_reduces_loss_on_repeated_example(
+        x in proptest::collection::vec(-1.0f64..1.0, 4..12),
+        y in any::<bool>(),
+    ) {
+        let dim = x.len();
+        let mut head = LoraHead::new(vec![0.0; dim], 0.0, 4, 16.0, 9);
+        let keep = vec![true; dim];
+        let yv = f64::from(y);
+        let first = head.sgd_step(&x, yv, 0.3, &keep);
+        let mut last = first;
+        for _ in 0..50 {
+            last = head.sgd_step(&x, yv, 0.3, &keep);
+        }
+        // Loss may plateau (zero input) but must never grow.
+        prop_assert!(last <= first + 1e-9, "{last} > {first}");
+    }
+
+    #[test]
+    fn ngram_features_bounded(s in "[ -~\n]{0,300}") {
+        let v = finetune::feature_vector(&s);
+        prop_assert_eq!(v.len(), finetune::FEATURE_DIM);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+        // The n-gram block is L2-normalized (or all zero).
+        let norm: f64 = v[..finetune::NGRAM_DIM].iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(norm < 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,401 @@
+//! FastTrack-style happens-before analysis over a trace.
+//!
+//! Events are replayed grouped by barrier phase (stable within a phase,
+//! which preserves the serialized schedule's lock ordering); each agent
+//! carries a [`VectorClock`], sync objects carry release clocks, and a
+//! shadow cell per address holds the last write plus the reads since.
+
+use crate::trace::{Event, EventKind, Site, SyncKey, Trace};
+use crate::vc::{Epoch, VectorClock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One dynamic race: two accesses unordered by happens-before.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DynRace {
+    /// The earlier (already-recorded) access.
+    pub prior: Site,
+    /// The access that completed the race.
+    pub current: Site,
+}
+
+impl DynRace {
+    /// DRB-style description.
+    pub fn describe(&self) -> String {
+        format!("{} vs. {}", self.prior.label(), self.current.label())
+    }
+}
+
+/// Analyzer output.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DynReport {
+    /// Distinct races (deduplicated by site pair).
+    pub races: Vec<DynRace>,
+}
+
+impl DynReport {
+    /// Does the trace contain a race?
+    pub fn has_race(&self) -> bool {
+        !self.races.is_empty()
+    }
+
+    /// Merge another report in (used when unioning schedules).
+    pub fn merge(&mut self, other: DynReport) {
+        for r in other.races {
+            if !self.races.contains(&r) {
+                self.races.push(r);
+            }
+        }
+    }
+
+    /// Deduplicated (variable, line, line) signatures.
+    pub fn pair_signatures(&self) -> Vec<(String, u32, u32)> {
+        let mut sigs: Vec<(String, u32, u32)> = self
+            .races
+            .iter()
+            .map(|r| {
+                let (a, b) = (r.prior.span.line(), r.current.span.line());
+                (r.prior.var.clone(), a.min(b), a.max(b))
+            })
+            .collect();
+        sigs.sort();
+        sigs.dedup();
+        sigs
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Shadow {
+    last_write: Option<(Epoch, Site, bool)>,
+    reads: Vec<(Epoch, Site, bool)>,
+}
+
+/// Replay a trace and report races.
+pub fn analyze(trace: &Trace) -> DynReport {
+    let mut events: Vec<&Event> = trace.events.iter().collect();
+    // Stable sort by phase: reconstructs a barrier-respecting order while
+    // keeping the serialized order within each phase.
+    events.sort_by_key(|e| e.phase);
+
+    let mut vcs: HashMap<usize, VectorClock> = HashMap::new();
+    let mut lock_vc: HashMap<SyncKey, VectorClock> = HashMap::new();
+    let mut task_end: HashMap<usize, VectorClock> = HashMap::new();
+    let mut shadow: HashMap<usize, Shadow> = HashMap::new();
+    let mut races: Vec<DynRace> = Vec::new();
+    let mut seen: std::collections::HashSet<(String, u32, u32, u32, u32)> =
+        std::collections::HashSet::new();
+
+    // Initialize thread clocks.
+    for t in 0..trace.threads.max(1) {
+        let mut vc = VectorClock::new();
+        vc.tick(t);
+        vcs.insert(t, vc);
+    }
+
+    let mut cur_phase = events.first().map(|e| e.phase).unwrap_or(0);
+    for ev in events {
+        if ev.phase != cur_phase {
+            barrier_join(&mut vcs, &task_end, trace.threads);
+            cur_phase = ev.phase;
+        }
+        let agent = ev.agent;
+        match &ev.kind {
+            EventKind::Access { addr, atomic, site } => {
+                let vc = vcs.entry(agent).or_default().clone();
+                let cell = shadow.entry(*addr).or_default();
+                if site.write {
+                    if let Some((e, s, a)) = &cell.last_write {
+                        if !e.covered_by(&vc) && !(*atomic && *a) {
+                            push_race(&mut races, &mut seen, s, site);
+                        }
+                    }
+                    for (e, s, a) in &cell.reads {
+                        if !e.covered_by(&vc) && !(*atomic && *a) {
+                            push_race(&mut races, &mut seen, s, site);
+                        }
+                    }
+                    cell.last_write = Some((Epoch::of(agent, &vc), site.clone(), *atomic));
+                    cell.reads.clear();
+                } else {
+                    if let Some((e, s, a)) = &cell.last_write {
+                        if !e.covered_by(&vc) && !(*atomic && *a) {
+                            push_race(&mut races, &mut seen, s, site);
+                        }
+                    }
+                    cell.reads.retain(|(e, _, _)| e.agent != agent);
+                    cell.reads.push((Epoch::of(agent, &vc), site.clone(), *atomic));
+                }
+            }
+            EventKind::Acquire(key) => {
+                if let Some(lvc) = lock_vc.get(key) {
+                    let lvc = lvc.clone();
+                    vcs.entry(agent).or_default().join(&lvc);
+                }
+            }
+            EventKind::Release(key) => {
+                let vc = vcs.entry(agent).or_default();
+                lock_vc.insert(key.clone(), vc.clone());
+                vc.tick(agent);
+            }
+            EventKind::TaskSpawn { child } => {
+                let parent_vc = vcs.entry(agent).or_default();
+                let mut child_vc = parent_vc.clone();
+                parent_vc.tick(agent);
+                child_vc.tick(*child);
+                vcs.insert(*child, child_vc);
+            }
+            EventKind::TaskEnd => {
+                let vc = vcs.entry(agent).or_default().clone();
+                task_end.insert(agent, vc);
+            }
+            EventKind::TaskWait { children } => {
+                let joined: Vec<VectorClock> = children
+                    .iter()
+                    .filter_map(|c| task_end.get(c).cloned())
+                    .collect();
+                let vc = vcs.entry(agent).or_default();
+                for j in joined {
+                    vc.join(&j);
+                }
+            }
+        }
+    }
+    DynReport { races }
+}
+
+fn push_race(
+    races: &mut Vec<DynRace>,
+    seen: &mut std::collections::HashSet<(String, u32, u32, u32, u32)>,
+    prior: &Site,
+    current: &Site,
+) {
+    let key = (
+        prior.var.clone(),
+        prior.span.line(),
+        prior.span.col(),
+        current.span.line(),
+        current.span.col(),
+    );
+    if seen.insert(key) {
+        races.push(DynRace { prior: prior.clone(), current: current.clone() });
+    }
+}
+
+/// Barrier: every thread agent's clock becomes the join of all thread
+/// clocks and all completed-task clocks, then ticks.
+fn barrier_join(
+    vcs: &mut HashMap<usize, VectorClock>,
+    task_end: &HashMap<usize, VectorClock>,
+    threads: usize,
+) {
+    let mut joined = VectorClock::new();
+    for t in 0..threads.max(1) {
+        if let Some(vc) = vcs.get(&t) {
+            joined.join(vc);
+        }
+    }
+    for vc in task_end.values() {
+        joined.join(vc);
+    }
+    for t in 0..threads.max(1) {
+        let mut vc = joined.clone();
+        vc.tick(t);
+        vcs.insert(t, vc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::span::Span;
+
+    fn site(var: &str, line: u32, write: bool) -> Site {
+        Site {
+            var: var.into(),
+            text: var.into(),
+            span: Span::new(0, 1, minic::Pos::new(line, 1)),
+            write,
+        }
+    }
+
+    fn access(agent: usize, phase: u32, addr: usize, write: bool, atomic: bool, line: u32) -> Event {
+        Event {
+            agent,
+            phase,
+            kind: EventKind::Access { addr, atomic, site: site("x", line, write) },
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_race() {
+        let trace = Trace {
+            events: vec![access(0, 1, 10, true, false, 5), access(1, 1, 10, true, false, 5)],
+            threads: 2,
+        };
+        assert!(analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn barrier_separates() {
+        let trace = Trace {
+            events: vec![access(0, 1, 10, true, false, 5), access(1, 2, 10, true, false, 7)],
+            threads: 2,
+        };
+        assert!(!analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn lock_protects() {
+        let key = SyncKey::Critical("c".into());
+        let trace = Trace {
+            events: vec![
+                Event { agent: 0, phase: 1, kind: EventKind::Acquire(key.clone()) },
+                access(0, 1, 10, true, false, 5),
+                Event { agent: 0, phase: 1, kind: EventKind::Release(key.clone()) },
+                Event { agent: 1, phase: 1, kind: EventKind::Acquire(key.clone()) },
+                access(1, 1, 10, true, false, 5),
+                Event { agent: 1, phase: 1, kind: EventKind::Release(key) },
+            ],
+            threads: 2,
+        };
+        assert!(!analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn different_locks_do_not_protect() {
+        let k1 = SyncKey::Critical("a".into());
+        let k2 = SyncKey::Critical("b".into());
+        let trace = Trace {
+            events: vec![
+                Event { agent: 0, phase: 1, kind: EventKind::Acquire(k1.clone()) },
+                access(0, 1, 10, true, false, 5),
+                Event { agent: 0, phase: 1, kind: EventKind::Release(k1) },
+                Event { agent: 1, phase: 1, kind: EventKind::Acquire(k2.clone()) },
+                access(1, 1, 10, true, false, 6),
+                Event { agent: 1, phase: 1, kind: EventKind::Release(k2) },
+            ],
+            threads: 2,
+        };
+        assert!(analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn both_atomic_no_race() {
+        let trace = Trace {
+            events: vec![access(0, 1, 10, true, true, 5), access(1, 1, 10, true, true, 5)],
+            threads: 2,
+        };
+        assert!(!analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn atomic_vs_plain_races() {
+        let trace = Trace {
+            events: vec![access(0, 1, 10, true, true, 5), access(1, 1, 10, false, false, 6)],
+            threads: 2,
+        };
+        assert!(analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn read_read_no_race() {
+        let trace = Trace {
+            events: vec![access(0, 1, 10, false, false, 5), access(1, 1, 10, false, false, 6)],
+            threads: 2,
+        };
+        assert!(!analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn write_then_concurrent_read_races() {
+        let trace = Trace {
+            events: vec![access(0, 1, 10, true, false, 5), access(1, 1, 10, false, false, 6)],
+            threads: 2,
+        };
+        assert!(analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn task_spawn_orders_parent_prefix() {
+        // Parent writes, then spawns task that reads: ordered by spawn.
+        let trace = Trace {
+            events: vec![
+                access(0, 1, 10, true, false, 5),
+                Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
+                access(4, 1, 10, false, false, 6),
+                Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
+            ],
+            threads: 2,
+        };
+        assert!(!analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn task_vs_parent_after_spawn_races() {
+        let trace = Trace {
+            events: vec![
+                Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
+                access(4, 1, 10, true, false, 6),
+                Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
+                access(0, 1, 10, true, false, 7),
+            ],
+            threads: 2,
+        };
+        assert!(analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn taskwait_orders() {
+        let trace = Trace {
+            events: vec![
+                Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
+                access(4, 1, 10, true, false, 6),
+                Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
+                Event { agent: 0, phase: 1, kind: EventKind::TaskWait { children: vec![4] } },
+                access(0, 1, 10, true, false, 7),
+            ],
+            threads: 2,
+        };
+        assert!(!analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn two_sibling_tasks_race() {
+        let trace = Trace {
+            events: vec![
+                Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
+                access(4, 1, 10, true, false, 6),
+                Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
+                Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 5 } },
+                access(5, 1, 10, true, false, 8),
+                Event { agent: 5, phase: 1, kind: EventKind::TaskEnd },
+            ],
+            threads: 2,
+        };
+        assert!(analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn same_agent_sequential_no_race() {
+        let trace = Trace {
+            events: vec![access(0, 1, 10, true, false, 5), access(0, 1, 10, true, false, 6)],
+            threads: 2,
+        };
+        assert!(!analyze(&trace).has_race());
+    }
+
+    #[test]
+    fn barrier_completes_tasks() {
+        // Task writes in phase 1; thread 1 reads in phase 2.
+        let trace = Trace {
+            events: vec![
+                Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
+                access(4, 1, 10, true, false, 6),
+                Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
+                access(1, 2, 10, false, false, 9),
+            ],
+            threads: 2,
+        };
+        assert!(!analyze(&trace).has_race());
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic, seedable scheduling decisions.
+//!
+//! The interpreter asks the scheduler three questions: which thread runs
+//! each loop iteration, which thread wins a `single` construct, and
+//! which thread runs each `section`. Varying the seed varies the answers
+//! (like re-running a real program), so the adversarial driver can union
+//! reports over several schedules.
+
+use minic::pragma::ScheduleKind;
+
+/// Splittable 64-bit mix (SplitMix64) — deterministic and dependency-free.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Scheduling policy for one simulated run.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    rng: Rng,
+    /// Number of simulated OpenMP threads.
+    pub threads: usize,
+    single_counter: usize,
+    section_counter: usize,
+}
+
+impl Scheduler {
+    /// Create a scheduler for `threads` threads with a seed.
+    pub fn new(threads: usize, seed: u64) -> Self {
+        Scheduler { rng: Rng::new(seed), threads: threads.max(1), single_counter: 0, section_counter: 0 }
+    }
+
+    /// Assign loop iterations `0..n` to threads under `kind`.
+    ///
+    /// Returns `assign` with `assign[iter] = tid`.
+    pub fn assign_iterations(&mut self, n: usize, kind: Option<ScheduleKind>, chunk: Option<usize>) -> Vec<usize> {
+        let t = self.threads;
+        let mut out = vec![0usize; n];
+        match kind.unwrap_or(ScheduleKind::Static) {
+            ScheduleKind::Static => {
+                match chunk {
+                    // Chunked static: round-robin chunks.
+                    Some(c) if c > 0 => {
+                        for (i, slot) in out.iter_mut().enumerate() {
+                            *slot = (i / c) % t;
+                        }
+                    }
+                    // Default static: one contiguous block per thread.
+                    _ => {
+                        let per = n.div_ceil(t).max(1);
+                        for (i, slot) in out.iter_mut().enumerate() {
+                            *slot = (i / per).min(t - 1);
+                        }
+                    }
+                }
+            }
+            ScheduleKind::Dynamic | ScheduleKind::Guided => {
+                // Chunks grabbed by "whichever thread is free": model as a
+                // seeded random assignment of chunks to threads.
+                let c = chunk.unwrap_or(1).max(1);
+                let mut i = 0;
+                while i < n {
+                    let tid = self.rng.below(t);
+                    for j in i..(i + c).min(n) {
+                        out[j] = tid;
+                    }
+                    i += c;
+                }
+            }
+            ScheduleKind::Auto | ScheduleKind::Runtime => {
+                let per = n.div_ceil(t).max(1);
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = (i / per).min(t - 1);
+                }
+            }
+        }
+        out
+    }
+
+    /// Which thread executes the next `single` construct.
+    pub fn single_winner(&mut self) -> usize {
+        self.single_counter += 1;
+        // Rotate deterministically; seed variation comes from the rng.
+        (self.single_counter - 1 + self.rng.below(self.threads)) % self.threads
+    }
+
+    /// Which thread executes section `idx` of a sections construct.
+    pub fn section_owner(&mut self, idx: usize) -> usize {
+        self.section_counter += 1;
+        (idx + self.section_counter + self.rng.below(self.threads)) % self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_default_is_blocked() {
+        let mut s = Scheduler::new(4, 1);
+        let a = s.assign_iterations(8, Some(ScheduleKind::Static), None);
+        assert_eq!(a, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn static_chunked_round_robin() {
+        let mut s = Scheduler::new(2, 1);
+        let a = s.assign_iterations(8, Some(ScheduleKind::Static), Some(2));
+        assert_eq!(a, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn all_iterations_assigned_in_range() {
+        let mut s = Scheduler::new(3, 42);
+        for kind in [ScheduleKind::Dynamic, ScheduleKind::Guided, ScheduleKind::Auto] {
+            let a = s.assign_iterations(100, Some(kind), Some(4));
+            assert_eq!(a.len(), 100);
+            assert!(a.iter().all(|&t| t < 3));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut s1 = Scheduler::new(4, 7);
+        let mut s2 = Scheduler::new(4, 7);
+        assert_eq!(
+            s1.assign_iterations(50, Some(ScheduleKind::Dynamic), None),
+            s2.assign_iterations(50, Some(ScheduleKind::Dynamic), None)
+        );
+        assert_eq!(s1.single_winner(), s2.single_winner());
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut s1 = Scheduler::new(4, 1);
+        let mut s2 = Scheduler::new(4, 2);
+        let a1 = s1.assign_iterations(64, Some(ScheduleKind::Dynamic), None);
+        let a2 = s2.assign_iterations(64, Some(ScheduleKind::Dynamic), None);
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn single_thread_degenerate() {
+        let mut s = Scheduler::new(1, 9);
+        assert_eq!(s.assign_iterations(5, None, None), vec![0; 5]);
+        assert_eq!(s.single_winner(), 0);
+        assert_eq!(s.section_owner(3), 0);
+    }
+}

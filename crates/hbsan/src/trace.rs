@@ -1,0 +1,99 @@
+//! Execution traces.
+//!
+//! Pass 1 (the interpreter) linearizes one legal OpenMP schedule into a
+//! flat event list; pass 2 (the analyzer) replays it with vector clocks.
+//! Because threads are simulated one after another, the raw list is not
+//! in a schedule-plausible order — the analyzer re-groups it by barrier
+//! `phase` (stable within a phase), which *is* a legal order, and
+//! happens-before does the rest: races are detected independent of the
+//! specific interleaving the serialization happened to produce.
+
+use minic::span::Span;
+use serde::{Deserialize, Serialize};
+
+/// Where an access happened, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Site {
+    /// Root variable name.
+    pub var: String,
+    /// Source text of the lvalue.
+    pub text: String,
+    /// Location in the analyzed source.
+    pub span: Span,
+    /// Write (true) or read (false).
+    pub write: bool,
+}
+
+impl Site {
+    /// DRB-style label `a[i+1]@64:10:R`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}@{}:{}:{}",
+            self.text,
+            self.span.line(),
+            self.span.col(),
+            if self.write { "W" } else { "R" }
+        )
+    }
+}
+
+/// Synchronization object identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncKey {
+    /// A runtime lock, identified by the lock variable's address.
+    Lock(usize),
+    /// A named (or anonymous) critical section.
+    Critical(String),
+    /// An `ordered` region of one loop construct.
+    Ordered(usize),
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A memory access at `addr`.
+    Access {
+        /// Heap address.
+        addr: usize,
+        /// Whether the access is protected by `omp atomic`.
+        atomic: bool,
+        /// Reporting info (includes read/write).
+        site: Site,
+    },
+    /// Mutex acquisition (critical enter, ordered enter, lock set).
+    Acquire(SyncKey),
+    /// Mutex release.
+    Release(SyncKey),
+    /// A new task agent begins; happens-after its parent's spawn point.
+    TaskSpawn {
+        /// The new task agent.
+        child: usize,
+    },
+    /// A task agent finished (emitted under the child agent).
+    TaskEnd,
+    /// `taskwait`: the agent joins the completion of the listed children.
+    TaskWait {
+        /// Children whose completion is awaited.
+        children: Vec<usize>,
+    },
+}
+
+/// One trace event: agent + barrier phase + payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Executing agent (thread id or task agent id).
+    pub agent: usize,
+    /// Barrier phase in which the event occurred.
+    pub phase: u32,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// A complete trace plus the thread-agent count (task agents follow).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in simulation order.
+    pub events: Vec<Event>,
+    /// Number of *thread* agents (agents `0..threads` join at barriers).
+    pub threads: usize,
+}

@@ -1,0 +1,79 @@
+//! Runtime values for the kernel interpreter.
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamic value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer (covers all C integer types of the subset).
+    Int(i64),
+    /// Floating point (covers `float` and `double`).
+    Float(f64),
+    /// Pointer: an address into the interpreter heap.
+    Ptr(usize),
+}
+
+impl Value {
+    /// Zero of the integer kind.
+    pub const ZERO: Value = Value::Int(0);
+
+    /// Truthiness (C semantics).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Ptr(p) => *p != 0,
+        }
+    }
+
+    /// As integer, coercing floats by truncation and pointers by address.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Float(v) => *v as i64,
+            Value::Ptr(p) => *p as i64,
+        }
+    }
+
+    /// As float, coercing integers.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Float(v) => *v,
+            Value::Ptr(p) => *p as f64,
+        }
+    }
+
+    /// Whether either operand is floating (C usual arithmetic conversion).
+    pub fn promotes_to_float(&self, other: &Value) -> bool {
+        matches!(self, Value::Float(_)) || matches!(other, Value::Float(_))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Float(0.5).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(!Value::Ptr(0).truthy());
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Float(2.9).as_int(), 2);
+        assert_eq!(Value::Int(3).as_float(), 3.0);
+        assert!(Value::Int(1).promotes_to_float(&Value::Float(1.0)));
+        assert!(!Value::Int(1).promotes_to_float(&Value::Int(2)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Vector clocks.
+//!
+//! Agents (OpenMP threads and explicit tasks) are identified by dense
+//! indices; a [`VectorClock`] maps each agent to its logical time. The
+//! partial order `≤` (pointwise) is the happens-before relation the
+//! analyzer checks accesses against, FastTrack-style.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A grow-on-demand vector clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    clocks: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VectorClock { clocks: Vec::new() }
+    }
+
+    /// Clock component for `agent` (0 when never set).
+    pub fn get(&self, agent: usize) -> u32 {
+        self.clocks.get(agent).copied().unwrap_or(0)
+    }
+
+    /// Set the component for `agent`.
+    pub fn set(&mut self, agent: usize, value: u32) {
+        if self.clocks.len() <= agent {
+            self.clocks.resize(agent + 1, 0);
+        }
+        self.clocks[agent] = value;
+    }
+
+    /// Increment `agent`'s component, returning the new value.
+    pub fn tick(&mut self, agent: usize) -> u32 {
+        let v = self.get(agent) + 1;
+        self.set(agent, v);
+        v
+    }
+
+    /// Pointwise maximum with `other` (release/acquire join).
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.clocks.len() < other.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (i, &c) in other.clocks.iter().enumerate() {
+            if self.clocks[i] < c {
+                self.clocks[i] = c;
+            }
+        }
+    }
+
+    /// Whether `self ≤ other` pointwise (self happens-before-or-equals).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.get(i))
+    }
+
+    /// Whether the epoch `(agent, clock)` happens-before-or-equals `self`.
+    pub fn covers(&self, agent: usize, clock: u32) -> bool {
+        clock <= self.get(agent)
+    }
+
+    /// Compare under the happens-before partial order.
+    pub fn partial_cmp_hb(&self, other: &VectorClock) -> Option<Ordering> {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Number of agent slots currently tracked.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether the clock is identically zero.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.iter().all(|&c| c == 0)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A lightweight `(agent, clock)` pair — FastTrack's "epoch".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Epoch {
+    /// Owning agent.
+    pub agent: usize,
+    /// That agent's clock at the event.
+    pub clock: u32,
+}
+
+impl Epoch {
+    /// Build an epoch for `agent` at its current time in `vc`.
+    pub fn of(agent: usize, vc: &VectorClock) -> Self {
+        Epoch { agent, clock: vc.get(agent) }
+    }
+
+    /// Whether this epoch happens-before-or-equals `vc`.
+    pub fn covered_by(&self, vc: &VectorClock) -> bool {
+        vc.covers(self.agent, self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_le_everything() {
+        let z = VectorClock::new();
+        let mut a = VectorClock::new();
+        a.set(3, 7);
+        assert!(z.le(&a));
+        assert!(!a.le(&z));
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.tick(2), 1);
+        assert_eq!(vc.tick(2), 2);
+        assert_eq!(vc.get(2), 2);
+        assert_eq!(vc.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 5);
+        a.set(1, 1);
+        let mut b = VectorClock::new();
+        b.set(1, 4);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 4);
+        assert_eq!(a.get(2), 2);
+    }
+
+    #[test]
+    fn concurrent_clocks_incomparable() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = VectorClock::new();
+        b.set(1, 1);
+        assert_eq!(a.partial_cmp_hb(&b), None);
+    }
+
+    #[test]
+    fn ordering_after_join() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.join(&a);
+        b.tick(1);
+        assert_eq!(a.partial_cmp_hb(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn epoch_coverage() {
+        let mut vc = VectorClock::new();
+        vc.set(1, 3);
+        assert!(Epoch { agent: 1, clock: 3 }.covered_by(&vc));
+        assert!(Epoch { agent: 1, clock: 2 }.covered_by(&vc));
+        assert!(!Epoch { agent: 1, clock: 4 }.covered_by(&vc));
+        assert!(!Epoch { agent: 0, clock: 1 }.covered_by(&vc));
+    }
+
+    // Partial-order laws are property-tested in tests/ of this crate.
+}

@@ -1,0 +1,310 @@
+//! Interpreter coverage: language features, builtins, OpenMP runtime
+//! calls, and value correctness beyond the race-detection paths.
+
+use hbsan::{run, Config};
+
+fn exit_of(src: &str) -> i64 {
+    let unit = minic::parse(src).unwrap();
+    run(&unit, &Config::default()).unwrap().exit.expect("main returns")
+}
+
+fn printed(src: &str) -> Vec<String> {
+    let unit = minic::parse(src).unwrap();
+    run(&unit, &Config::default()).unwrap().printed
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(exit_of("int main(void) { return 2 + 3 * 4 - 10 / 2; }"), 9);
+    assert_eq!(exit_of("int main(void) { return (2 + 3) * 4 % 7; }"), 6);
+    assert_eq!(exit_of("int main(void) { return 1 << 4 | 3; }"), 19);
+    assert_eq!(exit_of("int main(void) { return ~0 & 255; }"), 255);
+}
+
+#[test]
+fn comparison_and_logic() {
+    assert_eq!(exit_of("int main(void) { return (3 > 2) + (2 >= 2) + (1 < 0); }"), 2);
+    assert_eq!(exit_of("int main(void) { return 1 && 0 || 1; }"), 1);
+    // Short-circuit: the divide-by-zero is never evaluated.
+    assert_eq!(exit_of("int main(void) { int x = 0; return x != 0 && 10 / x > 1; }"), 0);
+}
+
+#[test]
+fn ternary_and_casts() {
+    assert_eq!(exit_of("int main(void) { return 5 > 3 ? 10 : 20; }"), 10);
+    assert_eq!(exit_of("int main(void) { double d = 3.7; return (int) d; }"), 3);
+    assert_eq!(exit_of("int main(void) { return (int) 2.5 + (int) 2.5; }"), 4);
+}
+
+#[test]
+fn float_math_builtins() {
+    assert_eq!(exit_of("int main(void) { return (int) sqrt(49.0); }"), 7);
+    assert_eq!(exit_of("int main(void) { return (int) fabs(-8.0); }"), 8);
+    assert_eq!(exit_of("int main(void) { return (int) pow(2.0, 10.0); }"), 1024);
+    assert_eq!(exit_of("int main(void) { return (int) fmax(3.0, 9.0) + (int) fmin(3.0, 9.0); }"), 12);
+    assert_eq!(exit_of("int main(void) { return abs(-5); }"), 5);
+}
+
+#[test]
+fn while_and_do_while_values() {
+    assert_eq!(
+        exit_of("int main(void) { int i = 0; int s = 0; while (i < 5) { s += i; i++; } return s; }"),
+        10
+    );
+    assert_eq!(
+        exit_of("int main(void) { int i = 10; int n = 0; do { n++; i -= 3; } while (i > 0); return n; }"),
+        4
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    assert_eq!(
+        exit_of(
+            "int main(void) { int s = 0; for (int i = 0; i < 10; i++) { if (i == 5) break; if (i % 2 == 0) continue; s += i; } return s; }"
+        ),
+        1 + 3
+    );
+}
+
+#[test]
+fn two_dimensional_arrays() {
+    assert_eq!(
+        exit_of(
+            "int main(void) { int m[3][4]; for (int i = 0; i < 3; i++) for (int j = 0; j < 4; j++) m[i][j] = i * 10 + j; return m[2][3]; }"
+        ),
+        23
+    );
+}
+
+#[test]
+fn pointer_arithmetic_and_deref() {
+    assert_eq!(
+        exit_of("int a[4]; int main(void) { a[2] = 42; int* p = a; return *(p + 2); }"),
+        42
+    );
+    assert_eq!(
+        exit_of("int a[4]; int main(void) { int* p = a + 1; p[0] = 7; return a[1]; }"),
+        7
+    );
+    assert_eq!(
+        exit_of("int main(void) { int x = 5; int* p = &x; *p = *p + 1; return x; }"),
+        6
+    );
+}
+
+#[test]
+fn malloc_gives_usable_memory() {
+    assert_eq!(
+        exit_of(
+            "int main(void) { int* buf = malloc(10 * sizeof(int)); for (int i = 0; i < 10; i++) buf[i] = i; int s = 0; for (int i = 0; i < 10; i++) s += buf[i]; free(buf); return s; }"
+        ),
+        45
+    );
+}
+
+#[test]
+fn function_calls_and_recursion() {
+    assert_eq!(
+        exit_of("int dbl(int x) { return x * 2; } int main(void) { return dbl(dbl(5)); }"),
+        20
+    );
+    assert_eq!(
+        exit_of(
+            "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } int main(void) { return fact(6); }"
+        ),
+        720
+    );
+}
+
+#[test]
+fn function_writing_through_pointer_param() {
+    assert_eq!(
+        exit_of(
+            "void fill(int* p, int n) { for (int i = 0; i < n; i++) p[i] = i * i; } int a[5]; int main(void) { fill(a, 5); return a[4]; }"
+        ),
+        16
+    );
+}
+
+#[test]
+fn printf_captures_values() {
+    let out = printed("int main(void) { printf(\"%d %d\\n\", 7, 8); printf(\"%f\\n\", 1.5); return 0; }");
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0], "7 8");
+    assert!(out[1].starts_with("1.5"));
+}
+
+#[test]
+fn omp_runtime_functions() {
+    // Outside a region, thread num is 0 and team size 1.
+    assert_eq!(
+        exit_of("int main(void) { return omp_get_thread_num() + omp_get_num_threads(); }"),
+        1
+    );
+    // Inside a region, thread ids cover the team.
+    assert_eq!(
+        exit_of(
+            "int seen[16]; int main(void) {\n#pragma omp parallel num_threads(4)\n{ seen[omp_get_thread_num()] = 1; }\n int s = 0; for (int i = 0; i < 16; i++) s += seen[i]; return s; }"
+        ),
+        4
+    );
+}
+
+#[test]
+fn reduction_operators_compute() {
+    assert_eq!(
+        exit_of(
+            "int main(void) { int s = 0;\n#pragma omp parallel for reduction(+: s)\nfor (int i = 1; i <= 10; i++) s += i;\n return s; }"
+        ),
+        55
+    );
+    assert_eq!(
+        exit_of(
+            "int main(void) { int p = 1;\n#pragma omp parallel for reduction(*: p)\nfor (int i = 1; i <= 5; i++) p *= i;\n return p; }"
+        ),
+        120
+    );
+}
+
+#[test]
+fn sections_split_work() {
+    assert_eq!(
+        exit_of(
+            "int x; int y; int main(void) {\n#pragma omp parallel sections\n{\n#pragma omp section\n{ x = 11; }\n#pragma omp section\n{ y = 31; }\n}\n return x + y; }"
+        ),
+        42
+    );
+}
+
+#[test]
+fn single_runs_exactly_once() {
+    assert_eq!(
+        exit_of(
+            "int n; int main(void) { n = 0;\n#pragma omp parallel num_threads(8)\n{\n#pragma omp single\n{ n = n + 1; }\n}\n return n; }"
+        ),
+        1
+    );
+}
+
+#[test]
+fn master_runs_on_thread_zero() {
+    assert_eq!(
+        exit_of(
+            "int who; int main(void) { who = -1;\n#pragma omp parallel num_threads(4)\n{\n#pragma omp master\n{ who = omp_get_thread_num(); }\n}\n return who; }"
+        ),
+        0
+    );
+}
+
+#[test]
+fn schedule_variants_compute_same_values() {
+    for sched in ["", "schedule(static, 3)", "schedule(dynamic)", "schedule(guided, 2)"] {
+        let src = format!(
+            "int a[60]; int main(void) {{\n#pragma omp parallel for {sched}\nfor (int i = 0; i < 60; i++) a[i] = i;\n int s = 0; for (int i = 0; i < 60; i++) s += a[i]; return s; }}"
+        );
+        assert_eq!(exit_of(&src), (0..60).sum::<i64>(), "{sched}");
+    }
+}
+
+#[test]
+fn threadprivate_isolates_copies() {
+    // Each thread increments its own copy: the global stays 0.
+    assert_eq!(
+        exit_of(
+            "int tp;\n#pragma omp threadprivate(tp)\nint main(void) { tp = 0;\n#pragma omp parallel num_threads(4)\n{ tp = tp + 1; }\n return tp; }"
+        ),
+        0
+    );
+}
+
+#[test]
+fn collapse_loops_compute() {
+    assert_eq!(
+        exit_of(
+            "double c[4][4]; int main(void) { int i, j;\n#pragma omp parallel for collapse(2)\nfor (i = 0; i < 4; i++) for (j = 0; j < 4; j++) c[i][j] = i + j;\n return (int) c[3][3]; }"
+        ),
+        6
+    );
+}
+
+#[test]
+fn negative_step_loops() {
+    assert_eq!(
+        exit_of("int main(void) { int s = 0; for (int i = 10; i > 0; i -= 2) s += i; return s; }"),
+        30
+    );
+}
+
+#[test]
+fn char_literals_are_integers() {
+    assert_eq!(exit_of("int main(void) { char c = 'A'; return c + 1; }"), 66);
+}
+
+#[test]
+fn global_initializer_lists() {
+    assert_eq!(
+        exit_of("int t[4] = {10, 20, 30, 40}; int main(void) { return t[0] + t[3]; }"),
+        50
+    );
+}
+
+#[test]
+fn critical_sections_serialize_values() {
+    assert_eq!(
+        exit_of(
+            "int n; int main(void) { n = 0;\n#pragma omp parallel num_threads(6)\n{\n#pragma omp critical\n{ n = n + 1; }\n}\n return n; }"
+        ),
+        6
+    );
+}
+
+#[test]
+fn atomic_updates_compute() {
+    assert_eq!(
+        exit_of(
+            "int n; int main(void) { n = 100;\n#pragma omp parallel num_threads(5)\n{\n#pragma omp atomic\n n -= 2;\n}\n return n; }"
+        ),
+        90
+    );
+}
+
+#[test]
+fn locks_serialize_values() {
+    assert_eq!(
+        exit_of(
+            "int n; long lck; int main(void) { n = 0; omp_init_lock(&lck);\n#pragma omp parallel num_threads(3)\n{ omp_set_lock(&lck); n = n + 7; omp_unset_lock(&lck); }\n omp_destroy_lock(&lck); return n; }"
+        ),
+        21
+    );
+}
+
+#[test]
+fn collapse_distributes_flattened_iterations() {
+    // With collapse(2), the inner-dimension dependence crosses simulated
+    // threads and the checker reports it.
+    let racy = "double c[8][8]; int main(void) { int i, j; for (int k = 0; k < 8; k++) for (int m = 0; m < 8; m++) c[k][m] = k;\n#pragma omp parallel for collapse(2) schedule(dynamic, 1)\nfor (i = 0; i < 8; i++) for (j = 0; j < 7; j++) c[i][j] = c[i][j + 1];\n return 0; }";
+    let unit = minic::parse(racy).unwrap();
+    let r = hbsan::check(&unit, &Config::default()).unwrap();
+    assert!(r.has_race(), "collapse(2) must expose the inner-dim dependence");
+
+    // The clean collapse nest stays clean.
+    let clean = "double c[8][8]; int main(void) { int i, j;\n#pragma omp parallel for collapse(2)\nfor (i = 0; i < 8; i++) for (j = 0; j < 8; j++) c[i][j] = i + j;\n return 0; }";
+    let unit = minic::parse(clean).unwrap();
+    let r = hbsan::check(&unit, &Config::default()).unwrap();
+    assert!(!r.has_race(), "{:#?}", r.races);
+}
+
+#[test]
+fn collapse_values_cover_full_space() {
+    let src = "int grid[6][5]; int main(void) { int i, j;\n#pragma omp parallel for collapse(2)\nfor (i = 0; i < 6; i++) for (j = 0; j < 5; j++) grid[i][j] = 1;\n int s = 0; for (int a = 0; a < 6; a++) for (int b = 0; b < 5; b++) s += grid[a][b]; return s; }";
+    assert_eq!(exit_of(src), 30);
+}
+
+#[test]
+fn triangular_collapse_falls_back_to_outer() {
+    // Inner bound depends on the outer var: distribution degrades to the
+    // outer loop but values stay correct.
+    let src = "int t[8][8]; int main(void) { int i, j;\n#pragma omp parallel for collapse(2)\nfor (i = 0; i < 8; i++) for (j = 0; j <= i; j++) t[i][j] = 1;\n int s = 0; for (int a = 0; a < 8; a++) for (int b = 0; b < 8; b++) s += t[a][b]; return s; }";
+    assert_eq!(exit_of(src), 36);
+}

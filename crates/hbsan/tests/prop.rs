@@ -1,0 +1,171 @@
+//! Property tests: vector-clock lattice laws, happens-before soundness
+//! (traces with full ordering produce no race reports), and analyzer
+//! robustness on random traces.
+
+use hbsan::{analyze, Epoch, Event, EventKind, Site, SyncKey, Trace, VectorClock};
+use minic::{Pos, Span};
+use proptest::prelude::*;
+
+fn vc(entries: &[(usize, u32)]) -> VectorClock {
+    let mut v = VectorClock::new();
+    for &(a, c) in entries {
+        v.set(a, c);
+    }
+    v
+}
+
+fn arb_vc() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec((0usize..6, 0u32..20), 0..6)
+        .prop_map(|es| vc(&es))
+}
+
+fn site(var: &str, line: u32, write: bool) -> Site {
+    Site { var: var.into(), text: var.into(), span: Span::new(0, 1, Pos::new(line, 1)), write }
+}
+
+fn access(agent: usize, phase: u32, addr: usize, write: bool, line: u32) -> Event {
+    Event { agent, phase, kind: EventKind::Access { addr, atomic: false, site: site("v", line, write) } }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- lattice laws ----
+
+    #[test]
+    fn join_is_commutative(a in arb_vc(), b in arb_vc()) {
+        let mut x = a.clone();
+        x.join(&b);
+        let mut y = b.clone();
+        y.join(&a);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn join_is_idempotent(a in arb_vc()) {
+        let mut x = a.clone();
+        x.join(&a);
+        prop_assert!(x.le(&a) && a.le(&x));
+    }
+
+    #[test]
+    fn join_is_upper_bound(a in arb_vc(), b in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn le_is_antisymmetric_partial_order(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        // reflexive
+        prop_assert!(a.le(&a));
+        // antisymmetric (on observable components)
+        if a.le(&b) && b.le(&a) {
+            for agent in 0..8 {
+                prop_assert_eq!(a.get(agent), b.get(agent));
+            }
+        }
+        // transitive
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn epoch_coverage_equals_component_compare(a in arb_vc(), agent in 0usize..6, clk in 0u32..25) {
+        prop_assert_eq!(Epoch { agent, clock: clk }.covered_by(&a), clk <= a.get(agent));
+    }
+
+    // ---- analyzer soundness ----
+
+    #[test]
+    fn single_agent_traces_are_race_free(
+        ops in proptest::collection::vec((0usize..4, any::<bool>()), 0..40)
+    ) {
+        // One agent touching any addresses in any order: fully ordered.
+        let events: Vec<Event> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(addr, w))| access(0, 1, addr, w, i as u32 + 1))
+            .collect();
+        let report = analyze(&Trace { events, threads: 2 });
+        prop_assert!(!report.has_race());
+    }
+
+    #[test]
+    fn barrier_separated_phases_are_race_free(
+        ops in proptest::collection::vec((0usize..3, 0usize..4, any::<bool>()), 0..30)
+    ) {
+        // Each agent gets its own phase → all cross-agent pairs ordered.
+        let events: Vec<Event> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(agent, addr, w))| access(agent, agent as u32 + 1, addr, w, i as u32 + 1))
+            .collect();
+        let mut sorted = events;
+        sorted.sort_by_key(|e| e.phase);
+        let report = analyze(&Trace { events: sorted, threads: 3 });
+        prop_assert!(!report.has_race());
+    }
+
+    #[test]
+    fn common_lock_protects_everything(
+        ops in proptest::collection::vec((0usize..3, any::<bool>()), 1..20)
+    ) {
+        // Every access wrapped in the same critical section.
+        let key = SyncKey::Critical("c".into());
+        let mut events = Vec::new();
+        for (i, &(agent, w)) in ops.iter().enumerate() {
+            events.push(Event { agent, phase: 1, kind: EventKind::Acquire(key.clone()) });
+            events.push(access(agent, 1, 7, w, i as u32 + 1));
+            events.push(Event { agent, phase: 1, kind: EventKind::Release(key.clone()) });
+        }
+        let report = analyze(&Trace { events, threads: 3 });
+        prop_assert!(!report.has_race());
+    }
+
+    #[test]
+    fn two_unordered_writes_always_race(a1 in 0usize..3, a2 in 0usize..3) {
+        prop_assume!(a1 != a2);
+        let events = vec![access(a1, 1, 9, true, 1), access(a2, 1, 9, true, 2)];
+        let report = analyze(&Trace { events, threads: 3 });
+        prop_assert!(report.has_race());
+    }
+
+    #[test]
+    fn analyzer_never_panics_on_random_traces(
+        raw in proptest::collection::vec((0usize..5, 0u32..4, 0usize..6, any::<bool>(), any::<bool>()), 0..60)
+    ) {
+        let events: Vec<Event> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(agent, phase, addr, w, atomic))| Event {
+                agent,
+                phase,
+                kind: EventKind::Access {
+                    addr,
+                    atomic,
+                    site: site("r", i as u32 + 1, w),
+                },
+            })
+            .collect();
+        let _ = analyze(&Trace { events, threads: 4 });
+    }
+
+    // ---- interpreter determinism over generated kernels ----
+
+    #[test]
+    fn interpreter_is_deterministic(n in 4u32..64, mult in 1i64..5) {
+        let src = format!(
+            "int a[{n}];\nint main(void)\n{{\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < {n}; i++)\n    a[i] = i * {mult};\n  int t;\n  t = 0;\n  for (i = 0; i < {n}; i++)\n    t = t + a[i];\n  return t;\n}}\n"
+        );
+        let unit = minic::parse(&src).unwrap();
+        let cfg = hbsan::Config::default();
+        let o1 = hbsan::run(&unit, &cfg).unwrap();
+        let o2 = hbsan::run(&unit, &cfg).unwrap();
+        prop_assert_eq!(o1.exit, o2.exit);
+        let expected: i64 = (0..n as i64).map(|i| i * mult).sum();
+        prop_assert_eq!(o1.exit, Some(expected));
+    }
+}

@@ -1,0 +1,237 @@
+//! The calibrated decision layer.
+//!
+//! Given the paper's published operating points (how many positives /
+//! negatives each model-prompt pair got right), the decider chooses
+//! *which* kernels land on which side: per-kernel difficulty (category
+//! difficulty + surface features + a deterministic jitter) ranks the
+//! corpus, and each model answers its quota of easiest kernels correctly
+//! — hard, adversarial kernels fail first, matching the qualitative
+//! observations of the paper's §4.4.
+
+use crate::calibration::{detection_point, varid_point};
+use crate::profile::{ModelKind, PromptStrategy};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// What the decider needs to know about one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelInfo {
+    /// Stable kernel id.
+    pub id: u32,
+    /// Ground-truth label.
+    pub race: bool,
+    /// Combined difficulty in [0, 1] (category + surface features).
+    pub difficulty: f64,
+}
+
+/// SplitMix64-based deterministic jitter in [0, 1).
+pub fn jitter(model: ModelKind, salt: u64, id: u32) -> f64 {
+    let mut x = (model as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(id as u64);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn salt_of(prompt: PromptStrategy) -> u64 {
+    match prompt {
+        PromptStrategy::Bp1 | PromptStrategy::P1 => 11,
+        PromptStrategy::Bp2 => 13,
+        PromptStrategy::P2 => 17,
+        PromptStrategy::P3 => 19,
+    }
+}
+
+/// A frozen detection decision table for one (model, prompt) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionDecider {
+    model: ModelKind,
+    prompt: PromptStrategy,
+    correct: HashSet<u32>,
+}
+
+impl DetectionDecider {
+    /// Calibrate against a kernel set.
+    pub fn calibrate(
+        model: ModelKind,
+        prompt: PromptStrategy,
+        kernels: &[KernelInfo],
+    ) -> DetectionDecider {
+        let op = detection_point(model, prompt);
+        let salt = salt_of(prompt);
+        let mut correct = HashSet::new();
+        for (class_race, rate) in [(true, op.tpr), (false, op.tnr)] {
+            let mut class: Vec<&KernelInfo> =
+                kernels.iter().filter(|k| k.race == class_race).collect();
+            // Easiest first; the jitter varies which borderline kernels a
+            // given model trips over.
+            class.sort_by(|a, b| {
+                let ka = a.difficulty + 0.3 * jitter(model, salt, a.id);
+                let kb = b.difficulty + 0.3 * jitter(model, salt, b.id);
+                ka.partial_cmp(&kb).unwrap().then(a.id.cmp(&b.id))
+            });
+            let n_correct = (rate * class.len() as f64).round() as usize;
+            for k in class.iter().take(n_correct) {
+                correct.insert(k.id);
+            }
+        }
+        DetectionDecider { model, prompt, correct }
+    }
+
+    /// The model's yes/no answer for a kernel.
+    pub fn predict(&self, k: &KernelInfo) -> bool {
+        if self.correct.contains(&k.id) {
+            k.race
+        } else {
+            !k.race
+        }
+    }
+
+    /// Whether the model classifies this kernel correctly.
+    pub fn is_correct(&self, k: &KernelInfo) -> bool {
+        self.correct.contains(&k.id)
+    }
+}
+
+/// How the model answers a variable-identification request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarIdOutcome {
+    /// Fully correct pair information (Table-5 TP when race-yes).
+    CorrectPairs,
+    /// Claims a race and emits wrong/garbled pair info.
+    WrongPairs,
+    /// Says no race, emits nothing (Table-5 TN when race-no).
+    NoPairs,
+}
+
+/// Frozen variable-identification decision table for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarIdDecider {
+    model: ModelKind,
+    fully_correct: HashSet<u32>,
+    restrained: HashSet<u32>,
+}
+
+impl VarIdDecider {
+    /// Calibrate against a kernel set (Table-5 operating points).
+    pub fn calibrate(model: ModelKind, kernels: &[KernelInfo]) -> VarIdDecider {
+        let op = varid_point(model);
+        let mut fully_correct = HashSet::new();
+        let mut restrained = HashSet::new();
+
+        let mut yes: Vec<&KernelInfo> = kernels.iter().filter(|k| k.race).collect();
+        yes.sort_by(|a, b| {
+            let ka = a.difficulty + 0.3 * jitter(model, 101, a.id);
+            let kb = b.difficulty + 0.3 * jitter(model, 101, b.id);
+            ka.partial_cmp(&kb).unwrap().then(a.id.cmp(&b.id))
+        });
+        let n = (op.correct_pair_rate * yes.len() as f64).round() as usize;
+        for k in yes.iter().take(n) {
+            fully_correct.insert(k.id);
+        }
+
+        let mut no: Vec<&KernelInfo> = kernels.iter().filter(|k| !k.race).collect();
+        no.sort_by(|a, b| {
+            let ka = a.difficulty + 0.3 * jitter(model, 103, a.id);
+            let kb = b.difficulty + 0.3 * jitter(model, 103, b.id);
+            ka.partial_cmp(&kb).unwrap().then(a.id.cmp(&b.id))
+        });
+        let n = (op.restraint_rate * no.len() as f64).round() as usize;
+        for k in no.iter().take(n) {
+            restrained.insert(k.id);
+        }
+        VarIdDecider { model, fully_correct, restrained }
+    }
+
+    /// Outcome for one kernel.
+    pub fn outcome(&self, k: &KernelInfo) -> VarIdOutcome {
+        if k.race {
+            if self.fully_correct.contains(&k.id) {
+                VarIdOutcome::CorrectPairs
+            } else if jitter(self.model, 107, k.id) < 0.55 {
+                // Most remaining race-yes kernels get *some* (wrong)
+                // answer; the rest are missed outright.
+                VarIdOutcome::WrongPairs
+            } else {
+                VarIdOutcome::NoPairs
+            }
+        } else if self.restrained.contains(&k.id) {
+            VarIdOutcome::NoPairs
+        } else {
+            VarIdOutcome::WrongPairs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_corpus() -> Vec<KernelInfo> {
+        (1..=198)
+            .map(|id| KernelInfo {
+                id,
+                race: id % 2 == 1 && id <= 200, // 99 yes / 99 no ≈ balanced
+                difficulty: (id % 10) as f64 / 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detection_counts_match_operating_point() {
+        let ks = fake_corpus();
+        let d = DetectionDecider::calibrate(ModelKind::Gpt4, PromptStrategy::P1, &ks);
+        let yes_total = ks.iter().filter(|k| k.race).count();
+        let tp = ks.iter().filter(|k| k.race && d.predict(k)).count();
+        let expected = (detection_point(ModelKind::Gpt4, PromptStrategy::P1).tpr
+            * yes_total as f64)
+            .round() as usize;
+        assert_eq!(tp, expected);
+    }
+
+    #[test]
+    fn decisions_deterministic() {
+        let ks = fake_corpus();
+        let d1 = DetectionDecider::calibrate(ModelKind::Llama2_7b, PromptStrategy::P2, &ks);
+        let d2 = DetectionDecider::calibrate(ModelKind::Llama2_7b, PromptStrategy::P2, &ks);
+        for k in &ks {
+            assert_eq!(d1.predict(k), d2.predict(k));
+        }
+    }
+
+    #[test]
+    fn easy_kernels_classified_by_everyone() {
+        let mut ks = fake_corpus();
+        // Make kernel 1 trivially easy.
+        ks[0].difficulty = 0.0;
+        for m in ModelKind::ALL {
+            let d = DetectionDecider::calibrate(m, PromptStrategy::P1, &ks);
+            assert!(d.is_correct(&ks[0]), "{m:?} should get the easiest kernel right");
+        }
+    }
+
+    #[test]
+    fn models_disagree_somewhere() {
+        let ks = fake_corpus();
+        let d4 = DetectionDecider::calibrate(ModelKind::Gpt4, PromptStrategy::P1, &ks);
+        let dl = DetectionDecider::calibrate(ModelKind::Llama2_7b, PromptStrategy::P1, &ks);
+        assert!(ks.iter().any(|k| d4.predict(k) != dl.predict(k)));
+    }
+
+    #[test]
+    fn varid_outcomes_cover_quota() {
+        let ks = fake_corpus();
+        let d = VarIdDecider::calibrate(ModelKind::Gpt4, &ks);
+        let correct = ks
+            .iter()
+            .filter(|k| k.race && d.outcome(k) == VarIdOutcome::CorrectPairs)
+            .count();
+        let yes_total = ks.iter().filter(|k| k.race).count();
+        let expected =
+            (varid_point(ModelKind::Gpt4).correct_pair_rate * yes_total as f64).round() as usize;
+        assert_eq!(correct, expected);
+    }
+}

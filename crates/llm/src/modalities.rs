@@ -1,0 +1,299 @@
+//! Alternative input modalities (paper §5 future work): beyond raw
+//! source text, render a kernel as an abstract syntax tree, a data
+//! dependence graph, or a control-flow graph — the representations the
+//! authors propose feeding to models next.
+
+use minic::ast::*;
+use minic::cfg::build_cfg;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write;
+
+/// Input representation for a prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modality {
+    /// The trimmed source text (the paper's evaluated modality).
+    SourceText,
+    /// S-expression abstract syntax tree.
+    AstSexpr,
+    /// Data-dependence edge list per parallel loop.
+    DependenceGraph,
+    /// Basic-block control-flow graph.
+    ControlFlowGraph,
+}
+
+impl Modality {
+    /// All modalities.
+    pub const ALL: [Modality; 4] = [
+        Modality::SourceText,
+        Modality::AstSexpr,
+        Modality::DependenceGraph,
+        Modality::ControlFlowGraph,
+    ];
+
+    /// Stable display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Modality::SourceText => "source",
+            Modality::AstSexpr => "ast",
+            Modality::DependenceGraph => "depgraph",
+            Modality::ControlFlowGraph => "cfg",
+        }
+    }
+}
+
+/// Render a kernel in a modality. Unparseable code degrades to the raw
+/// text for every modality.
+pub fn render(code: &str, m: Modality) -> String {
+    match m {
+        Modality::SourceText => code.to_string(),
+        Modality::AstSexpr => match minic::parse(code) {
+            Ok(u) => unit_sexpr(&u),
+            Err(_) => code.to_string(),
+        },
+        Modality::DependenceGraph => match minic::parse(code) {
+            Ok(u) => dependence_graph(&u),
+            Err(_) => code.to_string(),
+        },
+        Modality::ControlFlowGraph => match minic::parse(code) {
+            Ok(u) => {
+                let mut out = String::new();
+                for item in &u.items {
+                    if let Item::Func(f) = item {
+                        let _ = writeln!(out, "{}", build_cfg(f));
+                    }
+                }
+                if out.is_empty() {
+                    code.to_string()
+                } else {
+                    out
+                }
+            }
+            Err(_) => code.to_string(),
+        },
+    }
+}
+
+// -----------------------------------------------------------------
+// AST → S-expressions
+// -----------------------------------------------------------------
+
+fn unit_sexpr(u: &TranslationUnit) -> String {
+    let mut s = String::from("(unit");
+    for item in &u.items {
+        match item {
+            Item::Global(d) => {
+                for v in &d.vars {
+                    let _ = write!(s, " (global {} {})", v.ty.base.as_str(), v.name);
+                }
+            }
+            Item::Pragma(d) => {
+                let _ = write!(s, " (pragma \"{}\")", minic::printer::directive_text(d));
+            }
+            Item::Func(f) => {
+                let _ = write!(s, "\n  (func {} ", f.name);
+                s.push_str(&block_sexpr(&f.body, 2));
+                s.push(')');
+            }
+        }
+    }
+    s.push(')');
+    s
+}
+
+fn block_sexpr(b: &Block, depth: usize) -> String {
+    let pad = "  ".repeat(depth);
+    let mut s = String::from("(block");
+    for st in &b.stmts {
+        let _ = write!(s, "\n{pad}{}", stmt_sexpr(st, depth + 1));
+    }
+    s.push(')');
+    s
+}
+
+fn stmt_sexpr(st: &Stmt, depth: usize) -> String {
+    match st {
+        Stmt::Decl(d) => {
+            let names: Vec<&str> = d.vars.iter().map(|v| v.name.as_str()).collect();
+            format!("(decl {} {})", d.ty.base.as_str(), names.join(" "))
+        }
+        Stmt::Expr(e) => format!("(expr {})", expr_sexpr(e)),
+        Stmt::Empty(_) => "(nop)".to_string(),
+        Stmt::Block(b) => block_sexpr(b, depth),
+        Stmt::If { cond, then, els, .. } => {
+            let mut s = format!("(if {} {}", expr_sexpr(cond), stmt_sexpr(then, depth + 1));
+            if let Some(e) = els {
+                let _ = write!(s, " {}", stmt_sexpr(e, depth + 1));
+            }
+            s.push(')');
+            s
+        }
+        Stmt::For(f) => {
+            let var = f.induction_var().unwrap_or("_");
+            format!("(for {var} {})", stmt_sexpr(&f.body, depth + 1))
+        }
+        Stmt::While { cond, body, .. } => {
+            format!("(while {} {})", expr_sexpr(cond), stmt_sexpr(body, depth + 1))
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            format!("(do-while {} {})", stmt_sexpr(body, depth + 1), expr_sexpr(cond))
+        }
+        Stmt::Return(Some(e), _) => format!("(return {})", expr_sexpr(e)),
+        Stmt::Return(None, _) => "(return)".to_string(),
+        Stmt::Break(_) => "(break)".to_string(),
+        Stmt::Continue(_) => "(continue)".to_string(),
+        Stmt::Omp { dir, body, .. } => {
+            let mut s = format!("(omp \"{}\"", minic::printer::directive_text(dir));
+            if let Some(b) = body {
+                let _ = write!(s, " {}", stmt_sexpr(b, depth + 1));
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+fn expr_sexpr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit { value, .. } => value.to_string(),
+        Expr::FloatLit { value, .. } => format!("{value}"),
+        Expr::StrLit { .. } => "\"…\"".to_string(),
+        Expr::CharLit { value, .. } => format!("'{value}'"),
+        Expr::Ident { name, .. } => name.clone(),
+        Expr::Index { base, index, .. } => {
+            format!("(idx {} {})", expr_sexpr(base), expr_sexpr(index))
+        }
+        Expr::Call { callee, args, .. } => {
+            let a: Vec<String> = args.iter().map(expr_sexpr).collect();
+            format!("(call {callee} {})", a.join(" "))
+        }
+        Expr::Unary { op, expr, .. } => format!("({} {})", op.as_str(), expr_sexpr(expr)),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {} {})", op.as_str(), expr_sexpr(lhs), expr_sexpr(rhs))
+        }
+        Expr::Assign { op, lhs, rhs, .. } => {
+            format!("({} {} {})", op.as_str(), expr_sexpr(lhs), expr_sexpr(rhs))
+        }
+        Expr::IncDec { inc, expr, .. } => {
+            format!("({} {})", if *inc { "++" } else { "--" }, expr_sexpr(expr))
+        }
+        Expr::Cond { cond, then, els, .. } => format!(
+            "(?: {} {} {})",
+            expr_sexpr(cond),
+            expr_sexpr(then),
+            expr_sexpr(els)
+        ),
+        Expr::Cast { expr, .. } => expr_sexpr(expr),
+    }
+}
+
+// -----------------------------------------------------------------
+// Dependence graph
+// -----------------------------------------------------------------
+
+fn dependence_graph(u: &TranslationUnit) -> String {
+    use minic::pragma::DirectiveKind;
+    let mut out = String::from("dependence-graph {\n");
+    let mut loop_idx = 0;
+    for item in &u.items {
+        let Item::Func(f) = item else { continue };
+        for st in &f.body.stmts {
+            let Stmt::Omp { dir, body: Some(b), .. } = st else { continue };
+            if !(dir.kind.is_worksharing_loop() || dir.kind == DirectiveKind::Simd) {
+                continue;
+            }
+            let Some(fs) = depend::first_for(b) else { continue };
+            loop_idx += 1;
+            let la = depend::analyze_loop(fs);
+            let _ = writeln!(
+                out,
+                "  loop L{loop_idx} (var {}, bounds {:?}..{:?}):",
+                la.induction_var.as_deref().unwrap_or("?"),
+                la.bounds.lb,
+                la.bounds.ub
+            );
+            let privates: Vec<String> = dir
+                .privatized()
+                .iter()
+                .map(|s| s.to_string())
+                .chain(dir.reductions().iter().map(|s| s.to_string()))
+                .chain(la.induction_var.clone())
+                .collect();
+            let deps = depend::pairwise_dependences(
+                &la.accesses,
+                la.induction_var.as_deref().unwrap_or(""),
+                &la.bounds,
+                &privates,
+            );
+            if deps.is_empty() {
+                out.push_str("    (no dependences)\n");
+            }
+            for d in deps {
+                let _ = writeln!(
+                    out,
+                    "    {} --{}--> {}  carried={} distance={:?}",
+                    d.src.label(),
+                    d.kind.as_str(),
+                    d.dst.label(),
+                    d.carried,
+                    d.distance
+                );
+            }
+        }
+    }
+    if loop_idx == 0 {
+        out.push_str("  (no parallel loops)\n");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int a[100];\nint main(void)\n{\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 99; i++)\n    a[i] = a[i + 1];\n  return 0;\n}\n";
+
+    #[test]
+    fn source_is_identity() {
+        assert_eq!(render(SRC, Modality::SourceText), SRC);
+    }
+
+    #[test]
+    fn ast_sexpr_has_structure() {
+        let s = render(SRC, Modality::AstSexpr);
+        assert!(s.starts_with("(unit"), "{s}");
+        assert!(s.contains("(func main"), "{s}");
+        assert!(s.contains("(omp \"omp parallel for\""), "{s}");
+        assert!(s.contains("(idx a (+ i 1))"), "{s}");
+    }
+
+    #[test]
+    fn depgraph_lists_the_antidependence() {
+        let s = render(SRC, Modality::DependenceGraph);
+        assert!(s.contains("loop L1"), "{s}");
+        assert!(s.contains("carried=true"), "{s}");
+        assert!(s.contains("a[i + 1]"), "{s}");
+    }
+
+    #[test]
+    fn cfg_modality_renders_blocks() {
+        let s = render(SRC, Modality::ControlFlowGraph);
+        assert!(s.contains("cfg main"), "{s}");
+        assert!(s.contains("(entry)"), "{s}");
+        assert!(s.contains("Back"), "{s}");
+    }
+
+    #[test]
+    fn unparseable_degrades_to_text() {
+        for m in Modality::ALL {
+            assert_eq!(render("not c code {{{", m), "not c code {{{");
+        }
+    }
+
+    #[test]
+    fn clean_loop_reports_no_dependences() {
+        let clean = "int a[64];\nint main(void)\n{\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 64; i++)\n    a[i] = i;\n  return 0;\n}\n";
+        let s = render(clean, Modality::DependenceGraph);
+        assert!(s.contains("(no dependences)"), "{s}");
+    }
+}

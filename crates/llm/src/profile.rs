@@ -1,0 +1,188 @@
+//! Model profiles.
+//!
+//! The paper evaluates four LLMs (§2.1, §3.2): GPT-3.5-turbo (16k),
+//! GPT-4, Llama2-7b, and StarChat-β (16B). A [`ModelProfile`] captures
+//! what the pipeline needs: identity, context window, response style,
+//! analysis depth (how much real code analysis the surrogate performs),
+//! and whether the weights are open for fine-tuning (GPT models are
+//! API-only, §4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Which model a profile describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// GPT-3.5-turbo-16k.
+    Gpt35Turbo,
+    /// GPT-4.
+    Gpt4,
+    /// Llama2-7b.
+    Llama2_7b,
+    /// StarChat-β (16B).
+    StarChatBeta,
+}
+
+impl ModelKind {
+    /// All four paper models, in Table-3 order.
+    pub const ALL: [ModelKind; 4] =
+        [ModelKind::Gpt35Turbo, ModelKind::Gpt4, ModelKind::StarChatBeta, ModelKind::Llama2_7b];
+
+    /// Paper's short label (Table 3).
+    pub fn short(&self) -> &'static str {
+        match self {
+            ModelKind::Gpt35Turbo => "GPT3",
+            ModelKind::Gpt4 => "GPT4",
+            ModelKind::StarChatBeta => "SC",
+            ModelKind::Llama2_7b => "LM",
+        }
+    }
+
+    /// Full display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Gpt35Turbo => "GPT-3.5-turbo-16k",
+            ModelKind::Gpt4 => "GPT-4",
+            ModelKind::StarChatBeta => "StarChat-beta",
+            ModelKind::Llama2_7b => "Llama2-7b",
+        }
+    }
+
+    /// Whether weights are available for fine-tuning (open models only).
+    pub fn open_weights(&self) -> bool {
+        matches!(self, ModelKind::StarChatBeta | ModelKind::Llama2_7b)
+    }
+}
+
+/// Static description of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Identity.
+    pub kind: ModelKind,
+    /// Context window in tokens.
+    pub context_window: usize,
+    /// Parameter count, in billions (as publicly reported/estimated).
+    pub params_b: f64,
+    /// Analysis depth in [0, 1]: how much of the feature extractor's
+    /// program analysis the surrogate actually uses. Higher depth makes
+    /// per-kernel outcomes track real code structure more closely.
+    pub depth: f64,
+    /// Propensity to follow requested output formats (JSON adherence);
+    /// the paper notes not every LLM maintains formats (§4.5).
+    pub format_adherence: f64,
+    /// Verbosity of free-text answers.
+    pub verbosity: f64,
+}
+
+impl ModelProfile {
+    /// Profile for a model kind.
+    pub fn of(kind: ModelKind) -> ModelProfile {
+        match kind {
+            ModelKind::Gpt35Turbo => ModelProfile {
+                kind,
+                context_window: 16_384,
+                params_b: 175.0,
+                depth: 0.45,
+                format_adherence: 0.85,
+                verbosity: 0.7,
+            },
+            ModelKind::Gpt4 => ModelProfile {
+                kind,
+                context_window: 8_192,
+                params_b: 1000.0,
+                depth: 0.8,
+                format_adherence: 0.95,
+                verbosity: 0.6,
+            },
+            ModelKind::StarChatBeta => ModelProfile {
+                kind,
+                context_window: 8_192,
+                params_b: 16.0,
+                depth: 0.3,
+                format_adherence: 0.6,
+                verbosity: 0.9,
+            },
+            ModelKind::Llama2_7b => ModelProfile {
+                kind,
+                context_window: 4_096,
+                params_b: 7.0,
+                depth: 0.35,
+                format_adherence: 0.55,
+                verbosity: 0.8,
+            },
+        }
+    }
+}
+
+/// Prompt strategies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PromptStrategy {
+    /// Basic prompt 1 (Listing 4): succinct yes/no.
+    Bp1,
+    /// Basic prompt 2 (Listing 5): yes/no + JSON variable pairs.
+    Bp2,
+    /// p1 — same template as BP1 (Table 3 reuses it).
+    P1,
+    /// p2 — tool-emulating single prompt (Listing 6).
+    P2,
+    /// p3 — two-step chain-of-thought (Listing 7).
+    P3,
+}
+
+impl PromptStrategy {
+    /// Paper label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PromptStrategy::Bp1 => "BP1",
+            PromptStrategy::Bp2 => "BP2",
+            PromptStrategy::P1 => "p1",
+            PromptStrategy::P2 => "p2",
+            PromptStrategy::P3 => "p3",
+        }
+    }
+
+    /// Whether the strategy asks for variable details too (multi-task).
+    pub fn multi_task(&self) -> bool {
+        matches!(self, PromptStrategy::Bp2)
+    }
+
+    /// Number of chat turns the strategy uses.
+    pub fn turns(&self) -> usize {
+        match self {
+            PromptStrategy::P3 => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_models_in_table_order() {
+        let shorts: Vec<_> = ModelKind::ALL.iter().map(|m| m.short()).collect();
+        assert_eq!(shorts, vec!["GPT3", "GPT4", "SC", "LM"]);
+    }
+
+    #[test]
+    fn only_open_models_finetune() {
+        assert!(!ModelKind::Gpt35Turbo.open_weights());
+        assert!(!ModelKind::Gpt4.open_weights());
+        assert!(ModelKind::StarChatBeta.open_weights());
+        assert!(ModelKind::Llama2_7b.open_weights());
+    }
+
+    #[test]
+    fn gpt4_is_deepest() {
+        let depths: Vec<f64> =
+            ModelKind::ALL.iter().map(|m| ModelProfile::of(*m).depth).collect();
+        let gpt4 = ModelProfile::of(ModelKind::Gpt4).depth;
+        assert!(depths.iter().all(|d| *d <= gpt4));
+    }
+
+    #[test]
+    fn p3_is_two_turns() {
+        assert_eq!(PromptStrategy::P3.turns(), 2);
+        assert_eq!(PromptStrategy::P1.turns(), 1);
+    }
+}

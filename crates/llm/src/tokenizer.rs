@@ -1,0 +1,182 @@
+//! A BPE-flavoured code tokenizer.
+//!
+//! The paper filters DRB-ML to entries whose prompt fits in 4k tokens
+//! (198 of 201 survive, §3.2) and uses a 16k-context GPT-3.5 variant.
+//! This tokenizer reproduces the *counting* behaviour of a modern code
+//! tokenizer: whitespace runs, punctuation, and identifier/number pieces
+//! of bounded length, with a merge table that keeps common C/OpenMP
+//! lexemes as single tokens.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// A token: its text and a stable vocabulary id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// The surface text.
+    pub text: String,
+    /// Stable id (FNV hash of the text folded to 31 bits).
+    pub id: u32,
+}
+
+impl Token {
+    fn new(text: impl Into<String>) -> Self {
+        let text = text.into();
+        let id = fnv(&text) & 0x7FFF_FFFF;
+        Token { text, id }
+    }
+}
+
+fn fnv(s: &str) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for b in s.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Lexemes kept whole by the merge table (common C/OpenMP vocabulary).
+fn merges() -> &'static HashMap<&'static str, ()> {
+    static M: OnceLock<HashMap<&'static str, ()>> = OnceLock::new();
+    M.get_or_init(|| {
+        let words = [
+            "int", "long", "float", "double", "char", "void", "return", "for", "while", "if",
+            "else", "break", "continue", "static", "const", "include", "define", "pragma",
+            "omp", "parallel", "critical", "atomic", "barrier", "single", "master", "section",
+            "sections", "task", "taskwait", "simd", "ordered", "reduction", "private",
+            "firstprivate", "lastprivate", "shared", "schedule", "nowait", "collapse",
+            "num_threads", "threadprivate", "default", "dynamic", "guided", "runtime",
+            "printf", "main", "argc", "argv", "omp_get_thread_num", "omp_get_num_threads",
+            "omp_set_lock", "omp_unset_lock", "omp_init_lock", "omp_destroy_lock",
+            "omp_lock_t", "sizeof", "malloc", "free", "capture", "target", "teams",
+            "distribute", "map", "tofrom", "safelen", "depend", "inout", "flush",
+        ];
+        words.iter().map(|w| (*w, ())).collect()
+    })
+}
+
+/// Maximum identifier-piece length for unknown words (BPE fragments).
+const PIECE: usize = 4;
+
+/// Tokenize source text.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut out = Vec::with_capacity(src.len() / 3 + 4);
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            // Whitespace folds into the following token (GPT-style); runs
+            // of newlines count as one token each.
+            if b == b'\n' {
+                out.push(Token::new("\\n"));
+            }
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            if merges().contains_key(word) || word.len() <= PIECE {
+                out.push(Token::new(word));
+            } else {
+                let mut rest = word;
+                while !rest.is_empty() {
+                    let cut = PIECE.min(rest.len());
+                    out.push(Token::new(&rest[..cut]));
+                    rest = &rest[cut..];
+                }
+            }
+            continue;
+        }
+        // Punctuation: greedily take two-char operators.
+        let two = src.get(i..i + 2).unwrap_or("");
+        if matches!(
+            two,
+            "==" | "!=" | "<=" | ">=" | "&&" | "||" | "+=" | "-=" | "*=" | "/=" | "%=" | "++"
+                | "--" | "<<" | ">>" | "->"
+        ) {
+            out.push(Token::new(two));
+            i += 2;
+        } else {
+            out.push(Token::new(&src[i..i + 1]));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Token count (the only thing the DRB-ML filter needs).
+pub fn count_tokens(src: &str) -> usize {
+    tokenize(src).len()
+}
+
+/// The context budget used by the paper's filter.
+pub const PROMPT_TOKEN_LIMIT: usize = 4096;
+
+/// Does a code snippet fit the 4k prompt budget?
+pub fn fits_prompt_budget(src: &str) -> bool {
+    count_tokens(src) < PROMPT_TOKEN_LIMIT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_stay_whole() {
+        let toks = tokenize("#pragma omp parallel for reduction(+: sum)");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"pragma"));
+        assert!(texts.contains(&"parallel"));
+        assert!(texts.contains(&"reduction"));
+    }
+
+    #[test]
+    fn long_identifiers_split() {
+        let toks = tokenize("extraordinarily_long_name");
+        assert!(toks.len() > 1);
+        let joined: String = toks.iter().map(|t| t.text.as_str()).collect::<String>();
+        assert_eq!(joined, "extraordinarily_long_name");
+    }
+
+    #[test]
+    fn ids_deterministic() {
+        let a = tokenize("int x = 1;");
+        let b = tokenize("int x = 1;");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_char_operators_single_token() {
+        let toks = tokenize("a += b && c");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"+="));
+        assert!(texts.contains(&"&&"));
+    }
+
+    #[test]
+    fn typical_kernel_is_small() {
+        let src = r#"
+int main(void) {
+  int a[100];
+  #pragma omp parallel for
+  for (int i = 0; i < 99; i++)
+    a[i] = a[i + 1];
+  return 0;
+}
+"#;
+        let n = count_tokens(src);
+        assert!(n > 20 && n < 200, "{n}");
+        assert!(fits_prompt_budget(src));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(count_tokens(""), 0);
+    }
+}

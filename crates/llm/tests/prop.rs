@@ -1,0 +1,109 @@
+//! Property tests for the surrogate stack: tokenizer reconstruction,
+//! calibration quota exactness on random corpora, and decision
+//! determinism.
+
+use llm::decide::{DetectionDecider, KernelInfo, VarIdDecider, VarIdOutcome};
+use llm::{detection_point, varid_point, ModelKind, PromptStrategy};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::Gpt35Turbo),
+        Just(ModelKind::Gpt4),
+        Just(ModelKind::StarChatBeta),
+        Just(ModelKind::Llama2_7b),
+    ]
+}
+
+fn arb_prompt() -> impl Strategy<Value = PromptStrategy> {
+    prop_oneof![
+        Just(PromptStrategy::Bp1),
+        Just(PromptStrategy::Bp2),
+        Just(PromptStrategy::P1),
+        Just(PromptStrategy::P2),
+        Just(PromptStrategy::P3),
+    ]
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<KernelInfo>> {
+    proptest::collection::vec((any::<bool>(), 0.0f64..1.0), 10..120).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (race, difficulty))| KernelInfo { id: i as u32 + 1, race, difficulty })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenizer_preserves_non_whitespace(s in "[ -~\n]{0,300}") {
+        let toks = llm::tokenize(&s);
+        let reconstructed: String = toks
+            .iter()
+            .map(|t| if t.text == "\\n" { String::new() } else { t.text.clone() })
+            .collect();
+        let orig: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(reconstructed, orig);
+    }
+
+    #[test]
+    fn token_count_subadditive_under_concat(a in "[a-z ;(){}=+]{0,100}", b in "[a-z ;(){}=+]{0,100}") {
+        // Concatenation can merge at most the boundary tokens.
+        let joined = format!("{a} {b}");
+        prop_assert!(llm::count_tokens(&joined) <= llm::count_tokens(&a) + llm::count_tokens(&b) + 1);
+    }
+
+    #[test]
+    fn detection_quota_is_exact(corpus in arb_corpus(), m in arb_model(), p in arb_prompt()) {
+        let d = DetectionDecider::calibrate(m, p, &corpus);
+        let op = detection_point(m, p);
+        let yes: Vec<&KernelInfo> = corpus.iter().filter(|k| k.race).collect();
+        let no: Vec<&KernelInfo> = corpus.iter().filter(|k| !k.race).collect();
+        let tp = yes.iter().filter(|k| d.predict(k)).count();
+        let tn = no.iter().filter(|k| !d.predict(k)).count();
+        prop_assert_eq!(tp, (op.tpr * yes.len() as f64).round() as usize);
+        prop_assert_eq!(tn, (op.tnr * no.len() as f64).round() as usize);
+    }
+
+    #[test]
+    fn harder_kernels_fail_first(corpus in arb_corpus(), m in arb_model()) {
+        // If a kernel is classified correctly, every strictly-easier
+        // kernel of the same class with enough margin (jitter is bounded
+        // by 0.3) is classified correctly too.
+        let d = DetectionDecider::calibrate(m, PromptStrategy::P1, &corpus);
+        for a in &corpus {
+            for b in &corpus {
+                if a.race == b.race && a.difficulty + 0.31 < b.difficulty && d.is_correct(b) {
+                    prop_assert!(
+                        d.is_correct(a),
+                        "easier kernel {} wrong while harder {} right",
+                        a.id, b.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn varid_quota_is_exact(corpus in arb_corpus(), m in arb_model()) {
+        let d = VarIdDecider::calibrate(m, &corpus);
+        let op = varid_point(m);
+        let yes: Vec<&KernelInfo> = corpus.iter().filter(|k| k.race).collect();
+        let no: Vec<&KernelInfo> = corpus.iter().filter(|k| !k.race).collect();
+        let correct = yes.iter().filter(|k| d.outcome(k) == VarIdOutcome::CorrectPairs).count();
+        let restrained = no.iter().filter(|k| d.outcome(k) == VarIdOutcome::NoPairs).count();
+        prop_assert_eq!(correct, (op.correct_pair_rate * yes.len() as f64).round() as usize);
+        prop_assert_eq!(restrained, (op.restraint_rate * no.len() as f64).round() as usize);
+    }
+
+    #[test]
+    fn race_suspicion_bounded(s in "[ -~\n]{0,200}", depth in 0.0f64..1.0) {
+        let f = llm::CodeFeatures::extract(&s);
+        let v = f.race_suspicion(depth);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((0.0..=1.0).contains(&f.surface_difficulty()));
+    }
+}

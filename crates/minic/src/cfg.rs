@@ -1,0 +1,381 @@
+//! Control-flow graphs.
+//!
+//! The paper's future work (§5) proposes feeding models "different
+//! modalities beyond text … such as abstract syntax trees, dependence
+//! graphs, and control-flow graphs". This module builds a classic
+//! basic-block CFG from a function body; `llm::modalities` serializes
+//! it for prompts and the feature extractors can walk it.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A basic-block id.
+pub type BlockId = usize;
+
+/// Why an edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Unconditional fall-through.
+    Fallthrough,
+    /// Branch taken (condition true).
+    True,
+    /// Branch not taken (condition false).
+    False,
+    /// Loop back-edge.
+    Back,
+}
+
+/// One basic block: straight-line statements, no internal control flow.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Pretty-printed statements (one per entry).
+    pub stmts: Vec<String>,
+    /// Source line of the first statement, when known.
+    pub first_line: Option<u32>,
+    /// Outgoing edges.
+    pub succs: Vec<(BlockId, EdgeKind)>,
+}
+
+/// A function's control-flow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cfg {
+    /// Function name.
+    pub name: String,
+    /// Blocks; block 0 is the entry, the last block is the exit.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// The entry block id (always 0).
+    pub fn entry(&self) -> BlockId {
+        0
+    }
+
+    /// The synthetic exit block id.
+    pub fn exit(&self) -> BlockId {
+        self.blocks.len() - 1
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.succs.len()).sum()
+    }
+
+    /// Cyclomatic complexity `E - N + 2` (single connected component).
+    pub fn cyclomatic_complexity(&self) -> usize {
+        self.edge_count() + 2 - self.blocks.len()
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry()];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            for &(s, _) in &self.blocks[b].succs {
+                if !seen[s] {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Build the CFG of a function.
+pub fn build_cfg(f: &FuncDef) -> Cfg {
+    let mut b = Builder { blocks: vec![BasicBlock::default()] };
+    let last = b.lower_block_stmts(&f.body.stmts, 0);
+    // Synthetic exit.
+    let exit = b.new_block();
+    if let Some(last) = last {
+        b.edge(last, exit, EdgeKind::Fallthrough);
+    }
+    // `return` statements already point at usize::MAX; rewrite to exit.
+    for blk in &mut b.blocks {
+        for (s, _) in &mut blk.succs {
+            if *s == usize::MAX {
+                *s = exit;
+            }
+        }
+    }
+    Cfg { name: f.name.clone(), blocks: b.blocks }
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId, kind: EdgeKind) {
+        self.blocks[from].succs.push((to, kind));
+    }
+
+    fn push_stmt_text(&mut self, block: BlockId, s: &Stmt) {
+        let text = crate::printer::print_stmt(s);
+        let line = s.span().line();
+        let b = &mut self.blocks[block];
+        if b.first_line.is_none() {
+            b.first_line = Some(line);
+        }
+        b.stmts.push(text.trim_end().to_string());
+    }
+
+    /// Lower a statement list starting in block `entry`; returns the
+    /// block control falls out of (None when all paths return).
+    fn lower_block_stmts(&mut self, stmts: &[Stmt], entry: BlockId) -> Option<BlockId> {
+        let mut cur = Some(entry);
+        for s in stmts {
+            let Some(c) = cur else { break };
+            cur = self.lower_stmt(s, c);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, cur: BlockId) -> Option<BlockId> {
+        match s {
+            Stmt::Decl(_) | Stmt::Expr(_) | Stmt::Empty(_) => {
+                self.push_stmt_text(cur, s);
+                Some(cur)
+            }
+            Stmt::Return(..) => {
+                self.push_stmt_text(cur, s);
+                // Marker edge to the (not yet created) exit.
+                self.edge(cur, usize::MAX, EdgeKind::Fallthrough);
+                None
+            }
+            // Break/continue are modelled as block terminators that fall
+            // to the loop join; for the corpus's structured code a
+            // fall-through approximation keeps the graph connected.
+            Stmt::Break(_) | Stmt::Continue(_) => {
+                self.push_stmt_text(cur, s);
+                Some(cur)
+            }
+            Stmt::Block(b) => self.lower_block_stmts(&b.stmts, cur),
+            Stmt::If { cond, then, els, .. } => {
+                self.blocks[cur]
+                    .stmts
+                    .push(format!("if ({})", crate::printer::print_expr(cond)));
+                let then_b = self.new_block();
+                self.edge(cur, then_b, EdgeKind::True);
+                let then_end = self.lower_stmt(then, then_b);
+                let join = self.new_block();
+                if let Some(e) = then_end {
+                    self.edge(e, join, EdgeKind::Fallthrough);
+                }
+                match els {
+                    Some(els) => {
+                        let else_b = self.new_block();
+                        self.edge(cur, else_b, EdgeKind::False);
+                        if let Some(e) = self.lower_stmt(els, else_b) {
+                            self.edge(e, join, EdgeKind::Fallthrough);
+                        }
+                    }
+                    None => self.edge(cur, join, EdgeKind::False),
+                }
+                Some(join)
+            }
+            Stmt::For(f) => {
+                // init → header(cond) → body → step → header ; header →
+                // exit-join on false.
+                match &f.init {
+                    ForInit::Empty => {}
+                    ForInit::Decl(d) => self.push_stmt_text(cur, &Stmt::Decl(d.clone())),
+                    ForInit::Expr(e) => {
+                        self.blocks[cur].stmts.push(crate::printer::print_expr(e));
+                    }
+                }
+                let header = self.new_block();
+                self.edge(cur, header, EdgeKind::Fallthrough);
+                if let Some(c) = &f.cond {
+                    self.blocks[header]
+                        .stmts
+                        .push(format!("for-cond ({})", crate::printer::print_expr(c)));
+                }
+                let body = self.new_block();
+                self.edge(header, body, EdgeKind::True);
+                let body_end = self.lower_stmt(&f.body, body);
+                if let Some(e) = body_end {
+                    if let Some(st) = &f.step {
+                        self.blocks[e].stmts.push(crate::printer::print_expr(st));
+                    }
+                    self.edge(e, header, EdgeKind::Back);
+                }
+                let join = self.new_block();
+                self.edge(header, join, EdgeKind::False);
+                Some(join)
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.new_block();
+                self.edge(cur, header, EdgeKind::Fallthrough);
+                self.blocks[header]
+                    .stmts
+                    .push(format!("while ({})", crate::printer::print_expr(cond)));
+                let body_b = self.new_block();
+                self.edge(header, body_b, EdgeKind::True);
+                if let Some(e) = self.lower_stmt(body, body_b) {
+                    self.edge(e, header, EdgeKind::Back);
+                }
+                let join = self.new_block();
+                self.edge(header, join, EdgeKind::False);
+                Some(join)
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                let body_b = self.new_block();
+                self.edge(cur, body_b, EdgeKind::Fallthrough);
+                let end = self.lower_stmt(body, body_b);
+                let join = self.new_block();
+                if let Some(e) = end {
+                    self.blocks[e]
+                        .stmts
+                        .push(format!("do-while ({})", crate::printer::print_expr(cond)));
+                    self.edge(e, body_b, EdgeKind::Back);
+                    self.edge(e, join, EdgeKind::False);
+                }
+                Some(join)
+            }
+            Stmt::Omp { dir, body, .. } => {
+                self.blocks[cur]
+                    .stmts
+                    .push(format!("#pragma {}", crate::printer::directive_text(dir)));
+                match body {
+                    Some(b) => self.lower_stmt(b, cur),
+                    None => Some(cur),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cfg {} {{", self.name)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            let tag = if i == self.entry() {
+                " (entry)"
+            } else if i == self.exit() {
+                " (exit)"
+            } else {
+                ""
+            };
+            writeln!(f, "  B{i}{tag}:")?;
+            for s in &b.stmts {
+                for line in s.lines() {
+                    writeln!(f, "    {line}")?;
+                }
+            }
+            for (succ, kind) in &b.succs {
+                writeln!(f, "    -> B{succ} ({kind:?})")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let u = parse(src).unwrap();
+        let Item::Func(f) = u.items.iter().find(|i| matches!(i, Item::Func(_))).unwrap() else {
+            unreachable!()
+        };
+        build_cfg(f)
+    }
+
+    #[test]
+    fn straight_line_is_two_blocks() {
+        let c = cfg_of("int main(void) { int x; x = 1; x = x + 1; return x; }");
+        // entry block + exit block.
+        assert_eq!(c.blocks.len(), 2);
+        assert_eq!(c.blocks[0].succs.len(), 1);
+        assert_eq!(c.cyclomatic_complexity(), 1);
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let c = cfg_of(
+            "int main(void) { int x; x = 1; if (x > 0) x = 2; else x = 3; return x; }",
+        );
+        // Complexity 2 for a single branch.
+        assert_eq!(c.cyclomatic_complexity(), 2);
+        // Entry has a True and a False edge.
+        let kinds: Vec<EdgeKind> = c.blocks[0].succs.iter().map(|(_, k)| *k).collect();
+        assert!(kinds.contains(&EdgeKind::True));
+        assert!(kinds.contains(&EdgeKind::False));
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let c = cfg_of("int main(void) { int i; for (i = 0; i < 10; i++) i = i; return 0; }");
+        let backs = c
+            .blocks
+            .iter()
+            .flat_map(|b| b.succs.iter())
+            .filter(|(_, k)| *k == EdgeKind::Back)
+            .count();
+        assert_eq!(backs, 1);
+        assert_eq!(c.cyclomatic_complexity(), 2);
+    }
+
+    #[test]
+    fn nested_loops_complexity() {
+        let c = cfg_of(
+            "int main(void) { int i, j; for (i = 0; i < 4; i++) for (j = 0; j < 4; j++) i = i; return 0; }",
+        );
+        assert_eq!(c.cyclomatic_complexity(), 3);
+    }
+
+    #[test]
+    fn everything_reachable_in_structured_code() {
+        let c = cfg_of(
+            "int main(void) { int i; int s; s = 0; for (i = 0; i < 8; i++) { if (i % 2 == 0) s = s + i; } while (s > 100) s = s - 1; return s; }",
+        );
+        assert!(c.reachable().iter().all(|&r| r), "{c}");
+    }
+
+    #[test]
+    fn pragma_recorded_in_block() {
+        let c = cfg_of(
+            "int a[8]; int main(void) { int i;\n#pragma omp parallel for\nfor (i = 0; i < 8; i++) a[i] = i; return 0; }",
+        );
+        let text = c.to_string();
+        assert!(text.contains("#pragma omp parallel for"), "{text}");
+    }
+
+    #[test]
+    fn display_mentions_entry_and_exit() {
+        let c = cfg_of("int main(void) { return 0; }");
+        let t = c.to_string();
+        assert!(t.contains("(entry)"));
+        assert!(t.contains("(exit)"));
+    }
+
+    #[test]
+    fn whole_corpus_builds_connected_cfgs() {
+        // CFG construction must succeed and stay connected on every
+        // function of a few corpus-like kernels.
+        for src in [
+            "int main(void) { int i; do { i = 1; } while (i < 3); return 0; }",
+            "void f(int n) { if (n > 0) { while (n > 0) n = n - 1; } }",
+        ] {
+            let u = parse(src).unwrap();
+            for item in &u.items {
+                if let Item::Func(f) = item {
+                    let c = build_cfg(f);
+                    assert!(c.reachable().iter().all(|&r| r), "{src}\n{c}");
+                }
+            }
+        }
+    }
+}

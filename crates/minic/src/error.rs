@@ -1,0 +1,31 @@
+//! Frontend diagnostics.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexing or parsing error, with the span where it was detected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Create an error at `span`.
+    pub fn new(msg: impl Into<String>, span: Span) -> Self {
+        ParseError { msg: msg.into(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for frontend operations.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,524 @@
+//! Hand-written lexer for the C subset.
+//!
+//! The lexer understands `//` and `/* */` comments, preprocessor lines
+//! (`#include`, `#define`, and — crucially — `#pragma`, which is kept as
+//! a first-class token so the parser can attach OpenMP directives to the
+//! statement that follows), string/char escapes, and the operator set in
+//! [`crate::token::Punct`].
+
+use crate::error::{ParseError, Result};
+use crate::span::{Pos, Span};
+use crate::token::{Keyword, Punct, TokKind, Token};
+
+/// Streaming lexer over a source string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    off: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), off: 0, line: 1, col: 1 }
+    }
+
+    /// Lex the whole input into a token vector ending with [`TokKind::Eof`].
+    pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::with_capacity(src.len() / 4 + 8);
+        loop {
+            let tok = lx.next_token()?;
+            let done = tok.kind == TokKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.off).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.off + 1).copied()
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.off += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.span_here(0);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                // Line continuation inside pragma-less context: treat as whitespace.
+                Some(b'\\') if self.peek2() == Some(b'\n') => {
+                    self.bump();
+                    self.bump();
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn span_here(&self, len: usize) -> Span {
+        Span::new(self.off as u32, (self.off + len) as u32, self.pos())
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let start_off = self.off as u32;
+        let start_pos = self.pos();
+        let mk = |kind: TokKind, end: u32| Token::new(kind, Span::new(start_off, end, start_pos));
+
+        let Some(b) = self.peek() else {
+            return Ok(mk(TokKind::Eof, start_off));
+        };
+
+        // Preprocessor / pragma lines.
+        if b == b'#' && self.col == 1 || (b == b'#' && self.line_is_blank_before()) {
+            return self.lex_pp_line(start_off, start_pos);
+        }
+        if b == b'#' {
+            // `#` not at line start still begins a directive in practice.
+            return self.lex_pp_line(start_off, start_pos);
+        }
+
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let mut s = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    s.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let end = self.off as u32;
+            return Ok(match Keyword::from_str(&s) {
+                Some(k) => mk(TokKind::Keyword(k), end),
+                None => mk(TokKind::Ident(s), end),
+            });
+        }
+
+        if b.is_ascii_digit() || (b == b'.' && self.peek2().is_some_and(|c| c.is_ascii_digit())) {
+            return self.lex_number(start_off, start_pos);
+        }
+
+        if b == b'"' {
+            return self.lex_string(start_off, start_pos);
+        }
+        if b == b'\'' {
+            return self.lex_char(start_off, start_pos);
+        }
+
+        self.lex_punct(start_off, start_pos)
+    }
+
+    fn line_is_blank_before(&self) -> bool {
+        // Scan backwards from self.off-1 to the previous newline; all blanks
+        // means this '#' effectively starts the line.
+        let mut i = self.off;
+        while i > 0 {
+            let c = self.src[i - 1];
+            if c == b'\n' {
+                return true;
+            }
+            if !c.is_ascii_whitespace() {
+                return false;
+            }
+            i -= 1;
+        }
+        true
+    }
+
+    fn lex_pp_line(&mut self, start_off: u32, start_pos: Pos) -> Result<Token> {
+        self.bump(); // '#'
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some(b'\\') if self.peek2() == Some(b'\n') => {
+                    // Line continuation within a directive.
+                    self.bump();
+                    self.bump();
+                    text.push(' ');
+                }
+                Some(b'\n') | None => break,
+                Some(c) => {
+                    text.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+        let end = self.off as u32;
+        let trimmed = text.trim().to_string();
+        let kind = if trimmed.starts_with("pragma") {
+            TokKind::Pragma(trimmed)
+        } else {
+            TokKind::PpDirective(trimmed)
+        };
+        Ok(Token::new(kind, Span::new(start_off, end, start_pos)))
+    }
+
+    fn lex_number(&mut self, start_off: u32, start_pos: Pos) -> Result<Token> {
+        let begin = self.off;
+        let mut is_float = false;
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+        {
+            self.bump();
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+        } else {
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+            if self.peek() == Some(b'.') {
+                is_float = true;
+                self.bump();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                let save = (self.off, self.line, self.col);
+                self.bump();
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        self.bump();
+                    }
+                } else {
+                    (self.off, self.line, self.col) = save;
+                }
+            }
+        }
+        // Suffixes: u, l, f (accepted and ignored). The literal body ends
+        // here — hex digits already consumed any `F` that belongs to the
+        // value, so the suffix loop below never eats value characters.
+        let body_end = self.off;
+        let mut saw_f = false;
+        while matches!(
+            self.peek(),
+            Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L') | Some(b'f') | Some(b'F')
+        ) {
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                saw_f = true;
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[begin..body_end])
+            .expect("lexer slices are ascii");
+        let end = self.off as u32;
+        let span = Span::new(start_off, end, start_pos);
+        if is_float || saw_f {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad float literal `{text}`"), span))?;
+            Ok(Token::new(TokKind::FloatLit(v), span))
+        } else if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            let v = i64::from_str_radix(hex, 16)
+                .map_err(|_| ParseError::new(format!("bad hex literal `{text}`"), span))?;
+            Ok(Token::new(TokKind::IntLit(v), span))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad int literal `{text}`"), span))?;
+            Ok(Token::new(TokKind::IntLit(v), span))
+        }
+    }
+
+    fn lex_escape(&mut self, span: Span) -> Result<char> {
+        match self.bump() {
+            Some(b'n') => Ok('\n'),
+            Some(b't') => Ok('\t'),
+            Some(b'r') => Ok('\r'),
+            Some(b'0') => Ok('\0'),
+            Some(b'\\') => Ok('\\'),
+            Some(b'\'') => Ok('\''),
+            Some(b'"') => Ok('"'),
+            Some(c) => Ok(c as char),
+            None => Err(ParseError::new("unterminated escape", span)),
+        }
+    }
+
+    fn lex_string(&mut self, start_off: u32, start_pos: Pos) -> Result<Token> {
+        let span0 = Span::new(start_off, start_off + 1, start_pos);
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => s.push(self.lex_escape(span0)?),
+                Some(c) => s.push(c as char),
+                None => return Err(ParseError::new("unterminated string literal", span0)),
+            }
+        }
+        let end = self.off as u32;
+        Ok(Token::new(TokKind::StrLit(s), Span::new(start_off, end, start_pos)))
+    }
+
+    fn lex_char(&mut self, start_off: u32, start_pos: Pos) -> Result<Token> {
+        let span0 = Span::new(start_off, start_off + 1, start_pos);
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => self.lex_escape(span0)?,
+            Some(c) => c as char,
+            None => return Err(ParseError::new("unterminated char literal", span0)),
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(ParseError::new("unterminated char literal", span0));
+        }
+        let end = self.off as u32;
+        Ok(Token::new(TokKind::CharLit(c), Span::new(start_off, end, start_pos)))
+    }
+
+    fn lex_punct(&mut self, start_off: u32, start_pos: Pos) -> Result<Token> {
+        use Punct::*;
+        let b = self.bump().expect("caller checked non-empty");
+        let two = |lx: &mut Self, p: Punct| {
+            lx.bump();
+            p
+        };
+        let p = match b {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'?' => Question,
+            b'~' => Tilde,
+            b'.' => Dot,
+            b':' => Colon,
+            b'+' => match self.peek() {
+                Some(b'+') => two(self, PlusPlus),
+                Some(b'=') => two(self, PlusAssign),
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => two(self, MinusMinus),
+                Some(b'=') => two(self, MinusAssign),
+                Some(b'>') => two(self, Arrow),
+                _ => Minus,
+            },
+            b'*' => match self.peek() {
+                Some(b'=') => two(self, StarAssign),
+                _ => Star,
+            },
+            b'/' => match self.peek() {
+                Some(b'=') => two(self, SlashAssign),
+                _ => Slash,
+            },
+            b'%' => match self.peek() {
+                Some(b'=') => two(self, PercentAssign),
+                _ => Percent,
+            },
+            b'&' => match self.peek() {
+                Some(b'&') => two(self, AndAnd),
+                Some(b'=') => two(self, AmpAssign),
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                Some(b'|') => two(self, OrOr),
+                Some(b'=') => two(self, PipeAssign),
+                _ => Pipe,
+            },
+            b'^' => match self.peek() {
+                Some(b'=') => two(self, CaretAssign),
+                _ => Caret,
+            },
+            b'!' => match self.peek() {
+                Some(b'=') => two(self, NotEq),
+                _ => Bang,
+            },
+            b'=' => match self.peek() {
+                Some(b'=') => two(self, EqEq),
+                _ => Assign,
+            },
+            b'<' => match self.peek() {
+                Some(b'=') => two(self, Le),
+                Some(b'<') => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        two(self, ShlAssign)
+                    } else {
+                        Shl
+                    }
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => two(self, Ge),
+                Some(b'>') => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        two(self, ShrAssign)
+                    } else {
+                        Shr
+                    }
+                }
+                _ => Gt,
+            },
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(start_off, start_off + 1, start_pos),
+                ))
+            }
+        };
+        let end = self.off as u32;
+        Ok(Token::new(TokKind::Punct(p), Span::new(start_off, end, start_pos)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_keywords() {
+        let ks = kinds("int main");
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Keyword(Keyword::Int),
+                TokKind::Ident("main".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokKind::IntLit(42));
+        assert_eq!(kinds("0x1F")[0], TokKind::IntLit(31));
+        assert_eq!(kinds("3.5")[0], TokKind::FloatLit(3.5));
+        assert_eq!(kinds("1e3")[0], TokKind::FloatLit(1000.0));
+        assert_eq!(kinds("2.5f")[0], TokKind::FloatLit(2.5));
+        assert_eq!(kinds("100UL")[0], TokKind::IntLit(100));
+    }
+
+    #[test]
+    fn lexes_strings_and_chars() {
+        assert_eq!(kinds(r#""a[500]=%d\n""#)[0], TokKind::StrLit("a[500]=%d\n".into()));
+        assert_eq!(kinds("'x'")[0], TokKind::CharLit('x'));
+        assert_eq!(kinds(r"'\n'")[0], TokKind::CharLit('\n'));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("int /* a race */ x; // trailing\n y");
+        assert_eq!(ks.len(), 5); // int, x, ;, y, eof
+    }
+
+    #[test]
+    fn pragma_is_a_token() {
+        let ks = kinds("#pragma omp parallel for\nfor(;;) ;");
+        assert!(matches!(&ks[0], TokKind::Pragma(p) if p == "pragma omp parallel for"));
+    }
+
+    #[test]
+    fn include_is_pp_directive() {
+        let ks = kinds("#include <stdio.h>\nint x;");
+        assert!(matches!(&ks[0], TokKind::PpDirective(d) if d.starts_with("include")));
+    }
+
+    #[test]
+    fn pragma_line_continuation() {
+        let ks = kinds("#pragma omp parallel for \\\n  private(i)\nint x;");
+        assert!(
+            matches!(&ks[0], TokKind::Pragma(p) if p.contains("private(i)")),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        use Punct::*;
+        let ks = kinds("a += b << 2; c <<= 1; d >= e && f != g");
+        let ps: Vec<Punct> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ps, vec![PlusAssign, Shl, Semi, ShlAssign, Semi, Ge, AndAnd, NotEq]);
+    }
+
+    #[test]
+    fn tracks_line_and_col() {
+        let toks = Lexer::tokenize("int x;\n  y = 1;").unwrap();
+        let y = toks.iter().find(|t| t.kind.as_ident() == Some("y")).unwrap();
+        assert_eq!(y.span.pos.line, 2);
+        assert_eq!(y.span.pos.col, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(Lexer::tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::tokenize("\"nope").is_err());
+    }
+}

@@ -1,0 +1,497 @@
+//! Pretty printer: AST back to compilable C text.
+//!
+//! Round-tripping (`parse ∘ print ∘ parse` is a fixed point modulo spans)
+//! is property-tested; the printer is also used to canonicalize code for
+//! the surrogate-LLM tokenizer.
+
+use crate::ast::*;
+use crate::pragma::{Clause, Directive, DirectiveKind};
+use std::fmt::Write;
+
+/// Print a translation unit as C source.
+pub fn print_unit(unit: &TranslationUnit) -> String {
+    let mut p = Printer::new();
+    for pp in &unit.preprocessor {
+        let _ = writeln!(p.out, "#{}", pp.text);
+    }
+    for item in &unit.items {
+        match item {
+            Item::Func(f) => p.print_func(f),
+            Item::Global(d) => {
+                p.print_decl(d);
+                p.out.push('\n');
+            }
+            Item::Pragma(d) => {
+                let _ = writeln!(p.out, "#pragma {}", directive_text(d));
+            }
+        }
+    }
+    p.out
+}
+
+/// Print an expression as C text.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e);
+    s
+}
+
+/// Print a statement (at indent 0) as C text.
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.print_stmt(s);
+    p.out
+}
+
+/// The pragma body text (after `#pragma `) for a directive.
+pub fn directive_text(d: &Directive) -> String {
+    let mut s = match &d.kind {
+        DirectiveKind::Other(t) => return t.clone(),
+        k => format!("omp {}", k.name()),
+    };
+    for c in &d.clauses {
+        s.push(' ');
+        s.push_str(&clause_text(c));
+    }
+    s
+}
+
+/// The text of a single clause.
+pub fn clause_text(c: &Clause) -> String {
+    match c {
+        Clause::Private(v) => format!("private({})", v.join(", ")),
+        Clause::Firstprivate(v) => format!("firstprivate({})", v.join(", ")),
+        Clause::Lastprivate(v) => format!("lastprivate({})", v.join(", ")),
+        Clause::Shared(v) => format!("shared({})", v.join(", ")),
+        Clause::Linear(v) => format!("linear({})", v.join(", ")),
+        Clause::Reduction(op, v) => format!("reduction({}: {})", op.as_str(), v.join(", ")),
+        Clause::Schedule(k, None) => format!("schedule({})", k.as_str()),
+        Clause::Schedule(k, Some(ch)) => {
+            format!("schedule({}, {})", k.as_str(), print_expr(ch))
+        }
+        Clause::NumThreads(e) => format!("num_threads({})", print_expr(e)),
+        Clause::If(e) => format!("if({})", print_expr(e)),
+        Clause::Collapse(n) => format!("collapse({n})"),
+        Clause::Safelen(n) => format!("safelen({n})"),
+        Clause::Nowait => "nowait".into(),
+        Clause::OrderedClause => "ordered".into(),
+        Clause::Default(crate::pragma::DefaultKind::Shared) => "default(shared)".into(),
+        Clause::Default(crate::pragma::DefaultKind::None) => "default(none)".into(),
+        Clause::Depend(ty, v) => format!("depend({}: {})", ty.as_str(), v.join(", ")),
+        Clause::Verbatim(t) => t.clone(),
+    }
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer { out: String::new(), indent: 0 }
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_func(&mut self, f: &FuncDef) {
+        self.out.push_str(&type_prefix(&f.ret));
+        self.out.push(' ');
+        self.out.push_str(&f.name);
+        self.out.push('(');
+        if f.params.is_empty() {
+            self.out.push_str("void");
+        }
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&type_prefix(&p.ty));
+            if !p.name.is_empty() {
+                self.out.push(' ');
+                self.out.push_str(&p.name);
+            }
+            for d in &p.ty.dims {
+                match d {
+                    Some(e) => {
+                        let _ = write!(self.out, "[{}]", print_expr(e));
+                    }
+                    None => self.out.push_str("[]"),
+                }
+            }
+        }
+        self.out.push_str(")\n");
+        self.print_block_at_indent(&f.body);
+        self.out.push('\n');
+    }
+
+    fn print_block_at_indent(&mut self, b: &Block) {
+        self.pad();
+        self.out.push_str("{\n");
+        self.indent += 1;
+        for s in &b.stmts {
+            self.print_stmt(s);
+        }
+        self.indent -= 1;
+        self.pad();
+        self.out.push_str("}\n");
+    }
+
+    fn print_decl(&mut self, d: &Decl) {
+        self.pad();
+        if d.is_static {
+            self.out.push_str("static ");
+        }
+        self.out.push_str(&type_prefix(&d.ty));
+        self.out.push(' ');
+        for (i, v) in d.vars.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            for _ in d.ty.pointers..v.ty.pointers {
+                self.out.push('*');
+            }
+            self.out.push_str(&v.name);
+            for dim in &v.ty.dims {
+                match dim {
+                    Some(e) => {
+                        let _ = write!(self.out, "[{}]", print_expr(e));
+                    }
+                    None => self.out.push_str("[]"),
+                }
+            }
+            match &v.init {
+                Some(Init::Expr(e)) => {
+                    let _ = write!(self.out, " = {}", print_expr(e));
+                }
+                Some(Init::List(es)) => {
+                    self.out.push_str(" = {");
+                    for (j, e) in es.iter().enumerate() {
+                        if j > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.out.push_str(&print_expr(e));
+                    }
+                    self.out.push('}');
+                }
+                None => {}
+            }
+        }
+        self.out.push_str(";\n");
+    }
+
+    fn print_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(d) => self.print_decl(d),
+            Stmt::Expr(e) => {
+                self.pad();
+                self.out.push_str(&print_expr(e));
+                self.out.push_str(";\n");
+            }
+            Stmt::Empty(_) => {
+                self.pad();
+                self.out.push_str(";\n");
+            }
+            Stmt::Block(b) => self.print_block_at_indent(b),
+            Stmt::If { cond, then, els, .. } => {
+                self.pad();
+                let _ = writeln!(self.out, "if ({})", print_expr(cond));
+                self.print_nested(then);
+                if let Some(e) = els {
+                    self.pad();
+                    self.out.push_str("else\n");
+                    self.print_nested(e);
+                }
+            }
+            Stmt::For(f) => {
+                self.pad();
+                self.out.push_str("for (");
+                match &f.init {
+                    ForInit::Empty => self.out.push(';'),
+                    ForInit::Decl(d) => {
+                        // Inline declaration without indentation/newline.
+                        let mut sub = Printer::new();
+                        sub.print_decl(d);
+                        let text = sub.out.trim_end().to_string();
+                        self.out.push_str(&text);
+                    }
+                    ForInit::Expr(e) => {
+                        self.out.push_str(&print_expr(e));
+                        self.out.push(';');
+                    }
+                }
+                self.out.push(' ');
+                if let Some(c) = &f.cond {
+                    self.out.push_str(&print_expr(c));
+                }
+                self.out.push_str("; ");
+                if let Some(st) = &f.step {
+                    self.out.push_str(&print_expr(st));
+                }
+                self.out.push_str(")\n");
+                self.print_nested(&f.body);
+            }
+            Stmt::While { cond, body, .. } => {
+                self.pad();
+                let _ = writeln!(self.out, "while ({})", print_expr(cond));
+                self.print_nested(body);
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.pad();
+                self.out.push_str("do\n");
+                self.print_nested(body);
+                self.pad();
+                let _ = writeln!(self.out, "while ({});", print_expr(cond));
+            }
+            Stmt::Return(e, _) => {
+                self.pad();
+                match e {
+                    Some(e) => {
+                        let _ = writeln!(self.out, "return {};", print_expr(e));
+                    }
+                    None => self.out.push_str("return;\n"),
+                }
+            }
+            Stmt::Break(_) => {
+                self.pad();
+                self.out.push_str("break;\n");
+            }
+            Stmt::Continue(_) => {
+                self.pad();
+                self.out.push_str("continue;\n");
+            }
+            Stmt::Omp { dir, body, .. } => {
+                self.pad();
+                let _ = writeln!(self.out, "#pragma {}", directive_text(dir));
+                if let Some(b) = body {
+                    self.print_nested(b);
+                }
+            }
+        }
+    }
+
+    fn print_nested(&mut self, s: &Stmt) {
+        if matches!(s, Stmt::Block(_)) {
+            self.print_stmt(s);
+        } else {
+            self.indent += 1;
+            self.print_stmt(s);
+            self.indent -= 1;
+        }
+    }
+}
+
+fn type_prefix(ty: &Type) -> String {
+    let mut s = String::new();
+    if ty.is_const {
+        s.push_str("const ");
+    }
+    if ty.unsigned {
+        s.push_str("unsigned ");
+    }
+    s.push_str(ty.base.as_str());
+    for _ in 0..ty.pointers {
+        s.push('*');
+    }
+    s
+}
+
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Assign { .. } => 1,
+        Expr::Cond { .. } => 2,
+        Expr::Binary { op, .. } => match op {
+            BinOp::Or => 3,
+            BinOp::And => 4,
+            BinOp::BitOr => 5,
+            BinOp::BitXor => 6,
+            BinOp::BitAnd => 7,
+            BinOp::Eq | BinOp::Ne => 8,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => 9,
+            BinOp::Shl | BinOp::Shr => 10,
+            BinOp::Add | BinOp::Sub => 11,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 12,
+        },
+        Expr::Unary { .. } | Expr::Cast { .. } | Expr::IncDec { prefix: true, .. } => 13,
+        _ => 14,
+    }
+}
+
+fn write_child(out: &mut String, child: &Expr, parent_prec: u8) {
+    if prec(child) < parent_prec {
+        out.push('(');
+        write_expr(out, child);
+        out.push(')');
+    } else {
+        write_expr(out, child);
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::IntLit { value, .. } => {
+            let _ = write!(out, "{value}");
+        }
+        Expr::FloatLit { value, .. } => {
+            if value.fract() == 0.0 && value.is_finite() && value.abs() < 1e15 {
+                let _ = write!(out, "{value:.1}");
+            } else {
+                let _ = write!(out, "{value}");
+            }
+        }
+        Expr::StrLit { value, .. } => {
+            out.push('"');
+            for c in value.chars() {
+                match c {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Expr::CharLit { value, .. } => {
+            let _ = match value {
+                '\n' => write!(out, "'\\n'"),
+                '\t' => write!(out, "'\\t'"),
+                '\'' => write!(out, "'\\''"),
+                '\\' => write!(out, "'\\\\'"),
+                c => write!(out, "'{c}'"),
+            };
+        }
+        Expr::Ident { name, .. } => out.push_str(name),
+        Expr::Index { base, index, .. } => {
+            write_child(out, base, 14);
+            out.push('[');
+            write_expr(out, index);
+            out.push(']');
+        }
+        Expr::Call { callee, args, .. } => {
+            out.push_str(callee);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::Unary { op, expr, .. } => {
+            out.push_str(op.as_str());
+            // `-(-x)` must not print as `--x` (predecrement), and `&&x` /
+            // `* *p` have the same fusion hazard: parenthesize any child
+            // whose text would start with the same operator character.
+            let mut child = String::new();
+            write_child(&mut child, expr, 13);
+            let fuses = matches!(
+                (op, child.as_bytes().first()),
+                (UnOp::Neg, Some(b'-')) | (UnOp::AddrOf, Some(b'&')) | (UnOp::Deref, Some(b'*'))
+            );
+            if fuses {
+                out.push('(');
+                out.push_str(&child);
+                out.push(')');
+            } else {
+                out.push_str(&child);
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let p = prec(e);
+            write_child(out, lhs, p);
+            let _ = write!(out, " {} ", op.as_str());
+            write_child(out, rhs, p + 1);
+        }
+        Expr::Assign { op, lhs, rhs, .. } => {
+            write_child(out, lhs, 2);
+            let _ = write!(out, " {} ", op.as_str());
+            write_child(out, rhs, 1);
+        }
+        Expr::IncDec { inc, prefix, expr, .. } => {
+            let tok = if *inc { "++" } else { "--" };
+            if *prefix {
+                out.push_str(tok);
+                write_child(out, expr, 13);
+            } else {
+                write_child(out, expr, 14);
+                out.push_str(tok);
+            }
+        }
+        Expr::Cond { cond, then, els, .. } => {
+            write_child(out, cond, 3);
+            out.push_str(" ? ");
+            write_expr(out, then);
+            out.push_str(" : ");
+            write_child(out, els, 2);
+        }
+        Expr::Cast { ty, expr, .. } => {
+            let _ = write!(out, "({})", type_prefix(ty));
+            write_child(out, expr, 13);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let u1 = parse(src).unwrap();
+        let printed = print_unit(&u1);
+        let u2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let printed2 = print_unit(&u2);
+        assert_eq!(printed, printed2, "print not a fixed point for\n{src}");
+    }
+
+    #[test]
+    fn roundtrips_kernel() {
+        roundtrip(
+            r#"
+#include <stdio.h>
+int a[100];
+int main(int argc, char* argv[])
+{
+  int i;
+  #pragma omp parallel for private(i) reduction(+: a) schedule(static, 2)
+  for (i = 0; i < 100; i++)
+    a[i] = a[i] + i * 2;
+  return 0;
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "void f(int n) { int i = 0; while (i < n) { if (i % 2 == 0) i += 2; else i++; } do i--; while (i > 0); }",
+        );
+    }
+
+    #[test]
+    fn precedence_preserved() {
+        let u = parse("void f() { int x; x = (1 + 2) * 3; }").unwrap();
+        let printed = print_unit(&u);
+        assert!(printed.contains("(1 + 2) * 3"), "{printed}");
+    }
+
+    #[test]
+    fn prints_directives() {
+        roundtrip(
+            "void f() {\n#pragma omp parallel num_threads(4) default(none) shared(x)\n{\n int y;\n#pragma omp barrier\n y = 1; }\n int x; }",
+        );
+    }
+
+    #[test]
+    fn prints_string_escapes() {
+        roundtrip("void f() { printf(\"a=%d\\n\", 1); }");
+    }
+}

@@ -1,0 +1,93 @@
+//! Source positions and spans.
+//!
+//! DRB-ML labels locate race variables by **line and column in the
+//! comment-trimmed code** (paper §3.1, Table 1), so every token and AST
+//! node carries a [`Span`] whose positions are 1-based line/column pairs
+//! into whichever source text the frontend was handed (raw or trimmed).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 1-based line/column position in a source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The first position of any file.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+
+    /// Create a position; both coordinates are 1-based.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of source text, `[start, end)` in byte offsets,
+/// with the line/column of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Byte offset one past the last byte.
+    pub end: u32,
+    /// Line/column of the first byte.
+    pub pos: Pos,
+}
+
+impl Span {
+    /// A zero-width span at the file start, for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0, pos: Pos::START };
+
+    /// Create a span covering `[start, end)` beginning at `pos`.
+    pub fn new(start: u32, end: u32, pos: Pos) -> Self {
+        Span { start, end, pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// The position is taken from whichever span starts earlier.
+    pub fn to(self, other: Span) -> Span {
+        if other.start < self.start {
+            Span { start: other.start, end: self.end.max(other.end), pos: other.pos }
+        } else {
+            Span { start: self.start, end: self.end.max(other.end), pos: self.pos }
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// 1-based line of the span start.
+    pub fn line(&self) -> u32 {
+        self.pos.line
+    }
+
+    /// 1-based column of the span start.
+    pub fn col(&self) -> u32 {
+        self.pos.col
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pos)
+    }
+}

@@ -1,0 +1,270 @@
+//! Token definitions for the C-subset lexer.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lexical token: kind plus the span it covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// What kind of token this is (including any payload).
+    pub kind: TokKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// Token kinds for the C subset used by DataRaceBench-style kernels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TokKind {
+    /// Identifier or keyword candidate (`main`, `omp_set_lock`, …).
+    Ident(String),
+    /// Reserved C keyword (`for`, `int`, …).
+    Keyword(Keyword),
+    /// Integer literal (decimal, hex or octal), stored decoded.
+    IntLit(i64),
+    /// Floating literal, stored decoded.
+    FloatLit(f64),
+    /// String literal, stored without quotes and unescaped.
+    StrLit(String),
+    /// Character literal, stored decoded.
+    CharLit(char),
+    /// `#pragma …` line, stored verbatim (without the leading `#`).
+    Pragma(String),
+    /// `#include …` / `#define …` and other non-pragma preprocessor lines.
+    PpDirective(String),
+    /// A punctuation or operator token.
+    Punct(Punct),
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokKind {
+    /// The identifier text, if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// C keywords recognized by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Int,
+    Long,
+    Short,
+    Char,
+    Float,
+    Double,
+    Void,
+    Unsigned,
+    Signed,
+    Const,
+    Static,
+    Struct,
+    Return,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Break,
+    Continue,
+    Sizeof,
+    Extern,
+    Volatile,
+}
+
+impl Keyword {
+    /// Look up a keyword from identifier text.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "int" => Int,
+            "long" => Long,
+            "short" => Short,
+            "char" => Char,
+            "float" => Float,
+            "double" => Double,
+            "void" => Void,
+            "unsigned" => Unsigned,
+            "signed" => Signed,
+            "const" => Const,
+            "static" => Static,
+            "struct" => Struct,
+            "return" => Return,
+            "if" => If,
+            "else" => Else,
+            "for" => For,
+            "while" => While,
+            "do" => Do,
+            "break" => Break,
+            "continue" => Continue,
+            "sizeof" => Sizeof,
+            "extern" => Extern,
+            "volatile" => Volatile,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Int => "int",
+            Long => "long",
+            Short => "short",
+            Char => "char",
+            Float => "float",
+            Double => "double",
+            Void => "void",
+            Unsigned => "unsigned",
+            Signed => "signed",
+            Const => "const",
+            Static => "static",
+            Struct => "struct",
+            Return => "return",
+            If => "if",
+            Else => "else",
+            For => "for",
+            While => "while",
+            Do => "do",
+            Break => "break",
+            Continue => "continue",
+            Sizeof => "sizeof",
+            Extern => "extern",
+            Volatile => "volatile",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Shl,
+    Shr,
+}
+
+impl Punct {
+    /// The operator's source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Question => "?",
+            Dot => ".",
+            Arrow => "->",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            AndAnd => "&&",
+            OrOr => "||",
+            Shl => "<<",
+            Shr => ">>",
+        }
+    }
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "{s}"),
+            TokKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokKind::IntLit(v) => write!(f, "{v}"),
+            TokKind::FloatLit(v) => write!(f, "{v}"),
+            TokKind::StrLit(s) => write!(f, "\"{s}\""),
+            TokKind::CharLit(c) => write!(f, "'{c}'"),
+            TokKind::Pragma(p) => write!(f, "#{p}"),
+            TokKind::PpDirective(d) => write!(f, "#{d}"),
+            TokKind::Punct(p) => write!(f, "{}", p.as_str()),
+            TokKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}

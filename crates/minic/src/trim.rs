@@ -1,0 +1,212 @@
+//! Comment trimming with line maps.
+//!
+//! DRB-ML stores `trimmed_code` — the benchmark source with all comments
+//! removed — and all variable line numbers refer to the *trimmed* text
+//! (paper §3.1: "the 'line' value in DRB-ML is based on the code without
+//! comments"). [`trim_comments`] reproduces that transformation and
+//! returns a mapping from original lines to trimmed lines so labels can
+//! be translated in either direction.
+
+/// Result of comment-trimming a source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trimmed {
+    /// The source with comments removed and all-blank residue lines dropped.
+    pub code: String,
+    /// `line_map[orig_line - 1] = Some(trimmed_line)` for original lines
+    /// that survive, `None` for lines removed entirely.
+    pub line_map: Vec<Option<u32>>,
+}
+
+impl Trimmed {
+    /// Translate a 1-based original line number to the trimmed text.
+    pub fn to_trimmed_line(&self, orig_line: u32) -> Option<u32> {
+        self.line_map.get(orig_line as usize - 1).copied().flatten()
+    }
+
+    /// Translate a 1-based trimmed line number back to the original text.
+    pub fn to_original_line(&self, trimmed_line: u32) -> Option<u32> {
+        self.line_map
+            .iter()
+            .position(|m| *m == Some(trimmed_line))
+            .map(|idx| idx as u32 + 1)
+    }
+}
+
+/// Remove `//` and `/* */` comments, then drop lines that become blank.
+///
+/// String and character literals are respected: comment markers inside
+/// them are preserved verbatim.
+pub fn trim_comments(src: &str) -> Trimmed {
+    // Pass 1: blank out comments, preserving newlines so line structure
+    // is intact.
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block,
+        Str,
+        Chr,
+    }
+    let mut st = St::Code;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let b2 = bytes.get(i + 1).copied();
+        match st {
+            St::Code => match (b, b2) {
+                (b'/', Some(b'/')) => {
+                    st = St::Line;
+                    i += 2;
+                }
+                (b'/', Some(b'*')) => {
+                    st = St::Block;
+                    i += 2;
+                }
+                (b'"', _) => {
+                    st = St::Str;
+                    out.push(b);
+                    i += 1;
+                }
+                (b'\'', _) => {
+                    st = St::Chr;
+                    out.push(b);
+                    i += 1;
+                }
+                _ => {
+                    out.push(b);
+                    i += 1;
+                }
+            },
+            St::Line => {
+                if b == b'\n' {
+                    st = St::Code;
+                    out.push(b);
+                }
+                i += 1;
+            }
+            St::Block => {
+                if b == b'*' && b2 == Some(b'/') {
+                    st = St::Code;
+                    i += 2;
+                } else {
+                    if b == b'\n' {
+                        out.push(b);
+                    }
+                    i += 1;
+                }
+            }
+            St::Str => {
+                out.push(b);
+                if b == b'\\' {
+                    if let Some(n) = b2 {
+                        out.push(n);
+                        i += 1;
+                    }
+                } else if b == b'"' {
+                    st = St::Code;
+                }
+                i += 1;
+            }
+            St::Chr => {
+                out.push(b);
+                if b == b'\\' {
+                    if let Some(n) = b2 {
+                        out.push(n);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    st = St::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    let decommented = String::from_utf8(out).expect("comment stripping preserves utf8 of ascii");
+
+    // Pass 2: drop lines that are now blank, recording the line map.
+    let mut code = String::with_capacity(decommented.len());
+    let mut line_map = Vec::new();
+    let mut next_trimmed = 1u32;
+    for line in decommented.split_inclusive('\n') {
+        let body = line.strip_suffix('\n').unwrap_or(line);
+        if body.trim().is_empty() {
+            line_map.push(None);
+        } else {
+            line_map.push(Some(next_trimmed));
+            next_trimmed += 1;
+            code.push_str(body.trim_end());
+            code.push('\n');
+        }
+    }
+    // `split_inclusive` yields nothing for "", and no trailing entry when
+    // the text ends with '\n'; pad the map so every original line has an
+    // entry.
+    let orig_lines = src.lines().count().max(line_map.len());
+    while line_map.len() < orig_lines {
+        line_map.push(None);
+    }
+    Trimmed { code, line_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let t = trim_comments("int x; // a comment\nint y;\n");
+        assert_eq!(t.code, "int x;\nint y;\n");
+    }
+
+    #[test]
+    fn strips_block_comments_and_blank_lines() {
+        let src = "/*\n header\n*/\nint x;\n\nint y; /* tail */\n";
+        let t = trim_comments(src);
+        assert_eq!(t.code, "int x;\nint y;\n");
+        assert_eq!(t.to_trimmed_line(4), Some(1));
+        assert_eq!(t.to_trimmed_line(6), Some(2));
+        assert_eq!(t.to_trimmed_line(1), None);
+        assert_eq!(t.to_original_line(2), Some(6));
+    }
+
+    #[test]
+    fn preserves_markers_in_strings() {
+        let src = "printf(\"// not a comment /* still not */\");\n";
+        let t = trim_comments(src);
+        assert_eq!(t.code, src);
+    }
+
+    #[test]
+    fn preserves_char_literals() {
+        let src = "char c = '/'; char d = '\\''; int x; // gone\n";
+        let t = trim_comments(src);
+        assert_eq!(t.code, "char c = '/'; char d = '\\''; int x;\n");
+    }
+
+    #[test]
+    fn multiline_block_in_middle() {
+        let src = "int a; /* one\n two\n three */ int b;\n";
+        let t = trim_comments(src);
+        assert_eq!(t.code, "int a;\n int b;\n");
+        assert_eq!(t.to_trimmed_line(1), Some(1));
+        assert_eq!(t.to_trimmed_line(2), None);
+        assert_eq!(t.to_trimmed_line(3), Some(2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = trim_comments("");
+        assert_eq!(t.code, "");
+        assert!(t.line_map.is_empty());
+    }
+
+    #[test]
+    fn idempotent_on_trimmed() {
+        let src = "int x;\nint y;\n";
+        let once = trim_comments(src);
+        let twice = trim_comments(&once.code);
+        assert_eq!(once.code, twice.code);
+    }
+}

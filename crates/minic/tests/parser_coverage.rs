@@ -1,0 +1,193 @@
+//! Frontend coverage: pragma grammar corners, declarator forms, and
+//! trim/source-map behaviour beyond the inline unit tests.
+
+use minic::ast::*;
+use minic::parser::{parse, parse_pragma_text};
+use minic::pragma::*;
+use minic::Span;
+
+fn dir(text: &str) -> Directive {
+    parse_pragma_text(text, Span::DUMMY).unwrap()
+}
+
+#[test]
+fn flush_with_and_without_list() {
+    assert_eq!(dir("pragma omp flush").kind, DirectiveKind::Flush(vec![]));
+    assert_eq!(
+        dir("pragma omp flush(a, b)").kind,
+        DirectiveKind::Flush(vec!["a".into(), "b".into()])
+    );
+}
+
+#[test]
+fn depend_inout_and_array_sections() {
+    let d = dir("pragma omp task depend(inout: a[0]) depend(in: b)");
+    let deps: Vec<&Clause> =
+        d.clauses.iter().filter(|c| matches!(c, Clause::Depend(..))).collect();
+    assert_eq!(deps.len(), 2);
+    let Clause::Depend(ty, list) = deps[0] else { unreachable!() };
+    assert_eq!(*ty, DependType::Inout);
+    assert_eq!(list[0], "a[0]");
+}
+
+#[test]
+fn proc_bind_kept_verbatim() {
+    let d = dir("pragma omp parallel proc_bind(close) num_threads(4)");
+    assert!(d
+        .clauses
+        .iter()
+        .any(|c| matches!(c, Clause::Verbatim(t) if t.starts_with("proc_bind"))));
+    assert!(d.num_threads().is_some());
+}
+
+#[test]
+fn simd_safelen_and_linear() {
+    let d = dir("pragma omp simd safelen(8) linear(i)");
+    assert_eq!(d.kind, DirectiveKind::Simd);
+    assert!(d.clauses.iter().any(|c| matches!(c, Clause::Safelen(8))));
+    assert_eq!(d.privatized(), vec!["i"]);
+}
+
+#[test]
+fn non_omp_pragma_is_other() {
+    let d = dir("pragma ivdep");
+    assert!(matches!(d.kind, DirectiveKind::Other(ref t) if t == "ivdep"));
+}
+
+#[test]
+fn unknown_omp_directive_preserved() {
+    let d = dir("pragma omp scan inclusive(x)");
+    assert!(matches!(d.kind, DirectiveKind::Other(ref t) if t.starts_with("omp")));
+}
+
+#[test]
+fn reduction_operator_spellings() {
+    for (txt, op) in [
+        ("+", ReductionOp::Add),
+        ("*", ReductionOp::Mul),
+        ("min", ReductionOp::Min),
+        ("max", ReductionOp::Max),
+        ("&", ReductionOp::BitAnd),
+        ("|", ReductionOp::BitOr),
+        ("^", ReductionOp::BitXor),
+        ("&&", ReductionOp::LogAnd),
+        ("||", ReductionOp::LogOr),
+    ] {
+        let d = dir(&format!("pragma omp parallel for reduction({txt}: s)"));
+        let Clause::Reduction(got, _) =
+            d.clauses.iter().find(|c| matches!(c, Clause::Reduction(..))).unwrap()
+        else {
+            unreachable!()
+        };
+        assert_eq!(*got, op, "{txt}");
+    }
+}
+
+#[test]
+fn multiple_declarators_with_mixed_pointers() {
+    let u = parse("void f(void) { int *p, x, *q; }").unwrap();
+    let Item::Func(f) = &u.items[0] else { panic!() };
+    let Stmt::Decl(d) = &f.body.stmts[0] else { panic!() };
+    assert_eq!(d.vars.len(), 3);
+    assert!(d.vars[0].ty.is_pointer());
+    assert!(d.vars[2].ty.is_pointer());
+}
+
+#[test]
+fn else_if_chains() {
+    let u = parse(
+        "int f(int x) { if (x > 10) return 1; else if (x > 5) return 2; else return 3; }",
+    )
+    .unwrap();
+    let Item::Func(f) = &u.items[0] else { panic!() };
+    let Stmt::If { els, .. } = &f.body.stmts[0] else { panic!() };
+    assert!(matches!(els.as_deref(), Some(Stmt::If { .. })));
+}
+
+#[test]
+fn static_and_const_globals() {
+    let u = parse("static const double EPS = 0.001;\nint main(void) { return 0; }").unwrap();
+    let Item::Global(d) = &u.items[0] else { panic!() };
+    assert!(d.is_static);
+    assert!(d.ty.is_const);
+}
+
+#[test]
+fn unsigned_types() {
+    let u = parse("unsigned int u; unsigned long ul; int main(void) { return 0; }").unwrap();
+    let globals: Vec<&Decl> = u
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Global(d) => Some(d),
+            _ => None,
+        })
+        .collect();
+    assert!(globals.iter().all(|d| d.ty.unsigned));
+}
+
+#[test]
+fn array_parameter_dims() {
+    let u = parse("void g(double m[10][10], int v[]) { }").unwrap();
+    let Item::Func(f) = &u.items[0] else { panic!() };
+    assert_eq!(f.params[0].ty.dims.len(), 2);
+    assert_eq!(f.params[1].ty.dims.len(), 1);
+    assert!(f.params[1].ty.dims[0].is_none());
+}
+
+#[test]
+fn comment_markers_inside_pragma_line() {
+    // A // comment after a pragma body ends the pragma text cleanly.
+    let u = parse("int main(void) {\n#pragma omp barrier\nreturn 0; }").unwrap();
+    let Item::Func(f) = &u.items[0] else { panic!() };
+    assert!(matches!(&f.body.stmts[0], Stmt::Omp { dir, .. } if dir.kind == minic::pragma::DirectiveKind::Barrier));
+}
+
+#[test]
+fn trim_maps_pair_lines_for_drb_header() {
+    // DRB-style header comment shifts raw lines but not trimmed ones.
+    let raw = "/*\nheader line\nData race pair: a[i]@4:3:W\n*/\nint a[4];\nint main(void) { return 0; }\n";
+    let t = minic::trim_comments(raw);
+    assert!(t.code.starts_with("int a[4];"));
+    assert_eq!(t.to_trimmed_line(5), Some(1));
+    assert_eq!(t.to_original_line(1), Some(5));
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    let mut e = String::from("x");
+    for _ in 0..40 {
+        e = format!("({e} + 1)");
+    }
+    let src = format!("int f(int x) {{ return {e}; }}");
+    assert!(parse(&src).is_ok());
+}
+
+#[test]
+fn hex_and_suffixed_literals_in_context() {
+    let u = parse("int main(void) { int m = 0xFF; long n = 100L; return m + (int) n; }").unwrap();
+    let Item::Func(f) = &u.items[0] else { panic!() };
+    let Stmt::Decl(d) = &f.body.stmts[0] else { panic!() };
+    let Some(Init::Expr(e)) = &d.vars[0].init else { panic!() };
+    assert_eq!(e.const_int(), Some(255));
+}
+
+#[test]
+fn printer_handles_all_assign_ops() {
+    let src = "void f(int x) { x += 1; x -= 2; x *= 3; x /= 4; x %= 5; x &= 6; x |= 7; x ^= 8; x <<= 1; x >>= 1; }";
+    let u = parse(src).unwrap();
+    let printed = minic::print_unit(&u);
+    let u2 = parse(&printed).unwrap();
+    assert_eq!(minic::print_unit(&u2), printed);
+}
+
+#[test]
+fn collect_directives_orders_by_source() {
+    let src = "int main(void) {\n#pragma omp parallel\n{\n#pragma omp barrier\n}\n#pragma omp parallel for\nfor (int i = 0; i < 4; i++) ;\n return 0; }";
+    let u = parse(src).unwrap();
+    let ds = minic::visit::collect_directives(&u);
+    assert_eq!(ds.len(), 3);
+    assert_eq!(ds[0].kind, DirectiveKind::Parallel);
+    assert_eq!(ds[1].kind, DirectiveKind::Barrier);
+    assert_eq!(ds[2].kind, DirectiveKind::ParallelFor);
+}

@@ -1,0 +1,153 @@
+//! Property tests for the frontend: the lexer and parser must never
+//! panic on arbitrary input, printing must be a fixed point of
+//! parse∘print, and comment trimming must be idempotent and line-exact.
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------
+
+/// Small arithmetic expressions over a fixed variable pool.
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| v.to_string()),
+        prop_oneof![Just("i"), Just("j"), Just("n"), Just("x")].prop_map(String::from),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")])
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            inner.clone().prop_map(|a| format!("-({a})")),
+        ]
+    })
+    .boxed()
+}
+
+/// A tiny well-formed kernel with a generated loop body expression.
+fn arb_kernel() -> impl Strategy<Value = String> {
+    (arb_expr(3), 1u32..64, prop_oneof![Just("+"), Just("-")]).prop_map(|(e, n, op)| {
+        format!(
+            "int a[128];\nint main(void)\n{{\n  int i;\n  int n = {n};\n  #pragma omp parallel for\n  for (i = 0; i < 64; i++)\n    a[i] = a[i] {op} {e};\n  return 0;\n}}\n"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lexer_never_panics_on_ascii(s in "[ -~\n\t]{0,400}") {
+        let _ = minic::lexer::Lexer::tokenize(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii(s in "[ -~\n\t]{0,400}") {
+        let _ = minic::parse(&s);
+    }
+
+    #[test]
+    fn pragma_parser_never_panics_on_clause_soup(
+        s in "pragma omp [a-z ()+:,0-9]{0,80}"
+    ) {
+        let _ = minic::parser::parse_pragma_text(&s, minic::Span::DUMMY);
+    }
+
+    #[test]
+    fn print_is_fixed_point(src in arb_kernel()) {
+        let u1 = minic::parse(&src).expect("generated kernels parse");
+        let p1 = minic::print_unit(&u1);
+        let u2 = minic::parse(&p1).expect("printed output reparses");
+        let p2 = minic::print_unit(&u2);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn generated_exprs_roundtrip_constants(e in arb_expr(4)) {
+        // If the expression folds to a constant, printing and reparsing
+        // folds to the same constant.
+        let src = format!("int main(void) {{ int q = {e}; return q; }}");
+        if let Ok(u) = minic::parse(&src) {
+            let printed = minic::print_unit(&u);
+            let u2 = minic::parse(&printed).unwrap();
+            let get = |u: &minic::TranslationUnit| -> Option<i64> {
+                let minic::ast::Item::Func(f) = &u.items[0] else { return None };
+                let minic::ast::Stmt::Decl(d) = &f.body.stmts[0] else { return None };
+                match &d.vars[0].init {
+                    Some(minic::ast::Init::Expr(e)) => e.const_int(),
+                    _ => None,
+                }
+            };
+            prop_assert_eq!(get(&u), get(&u2));
+        }
+    }
+
+    #[test]
+    fn trim_is_idempotent(s in "[ -~\n]{0,300}") {
+        let once = minic::trim_comments(&s);
+        let twice = minic::trim_comments(&once.code);
+        prop_assert_eq!(&once.code, &twice.code);
+    }
+
+    #[test]
+    fn trim_line_map_is_monotone(s in "[ -~\n]{0,300}") {
+        let t = minic::trim_comments(&s);
+        let mut last = 0u32;
+        for m in t.line_map.iter().flatten() {
+            prop_assert!(*m > last, "trimmed lines must be strictly increasing");
+            last = *m;
+        }
+    }
+
+    #[test]
+    fn trim_preserves_noncomment_lines(body in "[a-z0-9 =;+]{1,40}") {
+        // A single code line surrounded by comments survives verbatim.
+        let src = format!("// top\n/* block */\n{body}\n// tail\n");
+        let t = minic::trim_comments(&src);
+        prop_assert_eq!(t.code.trim_end(), body.trim_end());
+    }
+}
+
+// ---------------------------------------------------------------
+// CFG properties
+// ---------------------------------------------------------------
+
+/// Structured statement bodies: a recursive generator of if/for/while
+/// nests around simple assignments.
+fn arb_body(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        Just("x = x + 1;".to_string()),
+        Just("y = x * 2;".to_string()),
+        Just("x = 0;".to_string()),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("if (x > 1) {{ {a} }} else {{ {b} }}")),
+            inner.clone().prop_map(|a| format!("if (y < 3) {{ {a} }}")),
+            inner.clone().prop_map(|a| format!("for (int k = 0; k < 4; k++) {{ {a} }}")),
+            inner.clone().prop_map(|a| format!("while (x > 0) {{ {a} x = x - 1; }}")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("{a} {b}")),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cfg_is_connected_and_complexity_counts_branches(body in arb_body(4)) {
+        let src = format!("int f(int x, int y) {{ {body} return x; }}");
+        let u = minic::parse(&src).expect("generated body parses");
+        let minic::ast::Item::Func(f) = &u.items[0] else { unreachable!() };
+        let cfg = minic::cfg::build_cfg(f);
+        // Every block reachable from the entry.
+        prop_assert!(cfg.reachable().iter().all(|&r| r), "{src}\n{cfg}");
+        // Complexity = decision points + 1 for structured code.
+        let decisions = src.matches("if (").count()
+            + src.matches("for (").count()
+            + src.matches("while (").count();
+        prop_assert_eq!(cfg.cyclomatic_complexity(), decisions + 1, "{}\n{}", src, cfg);
+    }
+}

@@ -1,0 +1,636 @@
+//! Race detection over collected events.
+//!
+//! Two events race when they may execute on different threads without an
+//! ordering barrier or a common mutual-exclusion key, they touch the same
+//! location, and at least one writes. The pairing rules encode OpenMP's
+//! execution model: replicated code, worksharing iterations, sections,
+//! single/master, tasks, and SIMD lanes.
+
+use crate::events::{Event, ExecCtx, WsCtx};
+use depend::access::Access;
+use depend::dtest::{subscripts_test, DepResult};
+use serde::{Deserialize, Serialize};
+
+/// Why a pair of accesses was reported as a race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaceReason {
+    /// Replicated parallel-region code without synchronization.
+    ReplicatedConflict,
+    /// Loop-carried dependence in a worksharing loop.
+    LoopCarried,
+    /// Possible dependence the analysis could not disprove (indirect or
+    /// symbolic subscripts).
+    MayConflict,
+    /// Conflicting accesses in different sections of one `sections`.
+    CrossSection,
+    /// Conflicting accesses in different explicit tasks (or task vs.
+    /// surrounding code) without ordering.
+    CrossTask,
+    /// Worksharing constructs overlapped via `nowait`.
+    NowaitOverlap,
+    /// Conflict between concurrent SIMD lanes.
+    SimdLanes,
+    /// Single/master/other once-contexts that still admit concurrency.
+    OnceOverlap,
+}
+
+impl RaceReason {
+    /// Short human-readable description.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            RaceReason::ReplicatedConflict => {
+                "unsynchronized conflicting accesses in a parallel region"
+            }
+            RaceReason::LoopCarried => "loop-carried dependence in a worksharing loop",
+            RaceReason::MayConflict => "possible conflict (analysis could not prove independence)",
+            RaceReason::CrossSection => "conflicting accesses in concurrent sections",
+            RaceReason::CrossTask => "conflicting accesses in concurrent tasks",
+            RaceReason::NowaitOverlap => "worksharing constructs overlapped by nowait",
+            RaceReason::SimdLanes => "conflicting accesses across SIMD lanes",
+            RaceReason::OnceOverlap => "conflicting once-constructs may run on different threads",
+        }
+    }
+}
+
+/// One reported data race: a conflicting access pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Race {
+    /// First access (earlier in the walk order).
+    pub first: Access,
+    /// Second access.
+    pub second: Access,
+    /// Why this pair is racy.
+    pub reason: RaceReason,
+    /// `false` when the detector could not *prove* the conflict (it still
+    /// reports, as a dynamic tool with unlucky scheduling might).
+    pub certain: bool,
+}
+
+impl Race {
+    /// DRB-comment-style description: `a[i+1]@64:10:R vs. a[i]@64:5:W`.
+    pub fn describe(&self) -> String {
+        format!("{} vs. {}", self.first.label(), self.second.label())
+    }
+}
+
+/// Full detector output for one program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// All distinct racy pairs.
+    pub races: Vec<Race>,
+}
+
+impl RaceReport {
+    /// Verdict: does the program contain a data race?
+    pub fn has_race(&self) -> bool {
+        !self.races.is_empty()
+    }
+
+    /// Deduplicated (variable, line, line) signatures, useful for
+    /// comparing against ground-truth pairs.
+    pub fn pair_signatures(&self) -> Vec<(String, u32, u32)> {
+        let mut sigs: Vec<(String, u32, u32)> = self
+            .races
+            .iter()
+            .map(|r| {
+                let (a, b) = (r.first.span.line(), r.second.span.line());
+                (r.first.var.clone(), a.min(b), a.max(b))
+            })
+            .collect();
+        sigs.sort();
+        sigs.dedup();
+        sigs
+    }
+}
+
+/// Run detection over a set of events.
+pub fn detect(events: &[Event]) -> RaceReport {
+    let mut races = Vec::new();
+    for (i, e1) in events.iter().enumerate() {
+        // Self-conflict: the same textual access executed by many threads.
+        if let Some(r) = self_race(e1) {
+            races.push(r);
+        }
+        for e2 in &events[i + 1..] {
+            if let Some(r) = pair_race(e1, e2) {
+                races.push(r);
+            }
+        }
+    }
+    dedup(&mut races);
+    RaceReport { races }
+}
+
+fn dedup(races: &mut Vec<Race>) {
+    let mut seen = std::collections::HashSet::new();
+    races.retain(|r| {
+        let key = (
+            r.first.var.clone(),
+            r.first.span.line(),
+            r.first.span.col(),
+            r.second.span.line(),
+            r.second.span.col(),
+        );
+        seen.insert(key)
+    });
+}
+
+fn protections_intersect(e1: &Event, e2: &Event) -> bool {
+    e1.protection.intersection(&e2.protection).next().is_some()
+}
+
+/// Can one event, executed by multiple threads, race with itself?
+fn self_race(e: &Event) -> Option<Race> {
+    if !matches!(e.access.kind, depend::AccessKind::Write) {
+        return None;
+    }
+    if !e.protection.is_empty() {
+        // Mutex-protected self-conflict is not a data race (it may still
+        // be a correctness issue, but not a race).
+        return None;
+    }
+    match &e.exec {
+        ExecCtx::Replicated => {
+            // Every thread executes this write. For arrays, the common
+            // idiom `a[omp_get_thread_num()] = …` writes thread-distinct
+            // cells: only scalars and constant-subscript elements are
+            // provably the same location for all threads.
+            let same_cell = !e.access.is_array()
+                || e.access.subscripts.iter().all(|s| s.is_constant());
+            if !same_cell {
+                return None;
+            }
+            Some(Race {
+                first: e.access.clone(),
+                second: e.access.clone(),
+                reason: RaceReason::ReplicatedConflict,
+                certain: true,
+            })
+        }
+        ExecCtx::WsLoop(w) => {
+            let reason = if w.simd_only { RaceReason::SimdLanes } else { RaceReason::LoopCarried };
+            if e.access.is_array() {
+                match ws_subscript_result(&e.access, &e.access, w) {
+                    // `a[i] = …` conflicts with itself only at distance 0 →
+                    // same iteration → same thread.
+                    DepResult::Distance(0) => None,
+                    DepResult::Independent => None,
+                    DepResult::Distance(_) => Some(Race {
+                        first: e.access.clone(),
+                        second: e.access.clone(),
+                        reason,
+                        certain: true,
+                    }),
+                    DepResult::Unknown => Some(Race {
+                        first: e.access.clone(),
+                        second: e.access.clone(),
+                        reason: if w.simd_only { RaceReason::SimdLanes } else { RaceReason::MayConflict },
+                        certain: false,
+                    }),
+                }
+            } else {
+                // A shared scalar written every iteration.
+                Some(Race {
+                    first: e.access.clone(),
+                    second: e.access.clone(),
+                    reason,
+                    certain: true,
+                })
+            }
+        }
+        // A task construct inside a loop spawns many instances; a write
+        // in its body conflicts with the sibling instances when the
+        // target is provably one location.
+        ExecCtx::Task(_, true) => {
+            let same_cell = !e.access.is_array()
+                || e.access.subscripts.iter().all(|s| s.is_constant())
+                || e.access.has_opaque_subscript();
+            if same_cell {
+                Some(Race {
+                    first: e.access.clone(),
+                    second: e.access.clone(),
+                    reason: RaceReason::CrossTask,
+                    certain: !e.access.has_opaque_subscript(),
+                })
+            } else {
+                None
+            }
+        }
+        // Executed at most once: no self-concurrency.
+        ExecCtx::Master | ExecCtx::Single(_) | ExecCtx::Section(..) | ExecCtx::Task(_, false) => {
+            None
+        }
+    }
+}
+
+fn pair_race(e1: &Event, e2: &Event) -> Option<Race> {
+    if e1.region != e2.region || e1.segment != e2.segment {
+        return None;
+    }
+    if e1.access.var != e2.access.var || !e1.access.kind.conflicts(&e2.access.kind) {
+        return None;
+    }
+    if protections_intersect(e1, e2) {
+        return None;
+    }
+    let mk = |reason, certain| {
+        Some(Race { first: e1.access.clone(), second: e2.access.clone(), reason, certain })
+    };
+
+    match (&e1.exec, &e2.exec) {
+        // Master always runs on the master thread: two master regions are
+        // sequentially ordered on that thread.
+        (ExecCtx::Master, ExecCtx::Master) => None,
+        // The same single/section/task instance runs on one thread.
+        (ExecCtx::Single(c1), ExecCtx::Single(c2)) => {
+            if c1 == c2 {
+                None
+            } else {
+                // Two single constructs in the same segment implies nowait;
+                // different threads may execute them.
+                mk(RaceReason::OnceOverlap, true)
+            }
+        }
+        (ExecCtx::Section(c1, s1), ExecCtx::Section(c2, s2)) => {
+            if c1 == c2 && s1 == s2 {
+                None
+            } else {
+                mk(RaceReason::CrossSection, true)
+            }
+        }
+        (ExecCtx::Task(t1, r1), ExecCtx::Task(t2, r2)) => {
+            if t1 == t2 && !(*r1 || *r2) {
+                None
+            } else {
+                // Distinct tasks — or one directive that spawns many
+                // instances from a loop.
+                mk(RaceReason::CrossTask, true)
+            }
+        }
+        (ExecCtx::Task(..), _) | (_, ExecCtx::Task(..)) => mk(RaceReason::CrossTask, true),
+        (ExecCtx::WsLoop(w1), ExecCtx::WsLoop(w2)) if w1.construct == w2.construct => {
+            ws_pair_race(e1, e2, w1).map(|(reason, certain)| Race {
+                first: e1.access.clone(),
+                second: e2.access.clone(),
+                reason,
+                certain,
+            })
+        }
+        (ExecCtx::WsLoop(_), ExecCtx::WsLoop(_)) => {
+            // Two different loop constructs in one segment: only possible
+            // with nowait — iterations of both may overlap.
+            mk(RaceReason::NowaitOverlap, true)
+        }
+        (ExecCtx::WsLoop(_), _) | (_, ExecCtx::WsLoop(_)) => mk(RaceReason::NowaitOverlap, true),
+        _ => mk(RaceReason::ReplicatedConflict, true),
+    }
+}
+
+/// Dependence result for a subscript pair under a worksharing loop,
+/// accounting for `collapse(n)`: the collapsed iteration space maps
+/// *every* collapsed induction variable across threads, so a dependence
+/// carried by any of them is thread-crossing. The most racy (carried)
+/// answer across the variables wins; `Distance(0)` (same logical
+/// iteration → same thread) only holds if it holds for the outer
+/// variable and no collapsed variable carries the dependence.
+fn ws_subscript_result(a1: &Access, a2: &Access, w: &WsCtx) -> DepResult {
+    // Rank by raciness: a carried distance under ANY collapsed variable
+    // means the conflict crosses threads; Unknown admits one; Distance(0)
+    // pins the conflict to a single logical iteration (one thread);
+    // Independent rules it out in that view.
+    fn rank(r: &DepResult) -> u8 {
+        match r {
+            DepResult::Independent => 0,
+            DepResult::Distance(0) => 1,
+            DepResult::Unknown => 2,
+            DepResult::Distance(_) => 3,
+        }
+    }
+    let outer = w.var.as_deref().unwrap_or("");
+    let mut result = subscripts_test(&a1.subscripts, &a2.subscripts, outer, &w.bounds);
+    for cv in &w.collapse_vars {
+        let r = subscripts_test(
+            &a1.subscripts,
+            &a2.subscripts,
+            cv,
+            &depend::dtest::LoopBounds::unknown(),
+        );
+        if rank(&r) > rank(&result) {
+            result = r;
+        }
+    }
+    result
+}
+
+/// Race test for two events in the same worksharing loop.
+fn ws_pair_race(e1: &Event, e2: &Event, w: &WsCtx) -> Option<(RaceReason, bool)> {
+    // Ordered regions inside an ordered loop serialize with each other;
+    // that is handled by the protection keys. Here we reason about plain
+    // iteration-parallel accesses.
+    let base_reason = if w.simd_only { RaceReason::SimdLanes } else { RaceReason::LoopCarried };
+    let a1 = &e1.access;
+    let a2 = &e2.access;
+    if a1.is_array() && a2.is_array() {
+        match ws_subscript_result(a1, a2, w) {
+            DepResult::Independent => None,
+            // Distance 0: both touched in the same iteration → same thread.
+            DepResult::Distance(0) => None,
+            DepResult::Distance(d) => {
+                // SIMD loops with safelen: distances ≥ safelen are safe.
+                if let Some(sl) = w.safelen {
+                    if w.simd_only && d.unsigned_abs() >= u64::from(sl) {
+                        return None;
+                    }
+                }
+                Some((base_reason, true))
+            }
+            DepResult::Unknown => Some((RaceReason::MayConflict, false)),
+        }
+    } else if !a1.is_array() && !a2.is_array() {
+        // Shared scalar conflict across iterations.
+        Some((base_reason, true))
+    } else {
+        Some((RaceReason::MayConflict, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::collect;
+    use minic::parse;
+
+    fn report(src: &str) -> RaceReport {
+        detect(&collect(&parse(src).unwrap()).events)
+    }
+
+    #[test]
+    fn antidep_parallel_for_races() {
+        let r = report(
+            "int a[1000]; int main() { int i;\n#pragma omp parallel for\nfor (i=0;i<999;i++) a[i]=a[i+1]+1;\n return 0; }",
+        );
+        assert!(r.has_race());
+        assert!(r.races.iter().any(|x| x.reason == RaceReason::LoopCarried));
+    }
+
+    #[test]
+    fn independent_parallel_for_clean() {
+        let r = report(
+            "int a[1000]; int main() { int i;\n#pragma omp parallel for\nfor (i=0;i<1000;i++) a[i]=a[i]*2;\n return 0; }",
+        );
+        assert!(!r.has_race(), "{:#?}", r.races);
+    }
+
+    #[test]
+    fn missing_reduction_races() {
+        let r = report(
+            "int main() { int sum = 0; int a[100];\n#pragma omp parallel for\nfor (int i=0;i<100;i++) sum += a[i];\n return 0; }",
+        );
+        assert!(r.has_race());
+    }
+
+    #[test]
+    fn reduction_clause_clean() {
+        let r = report(
+            "int main() { int sum = 0; int a[100];\n#pragma omp parallel for reduction(+: sum)\nfor (int i=0;i<100;i++) sum += a[i];\n return 0; }",
+        );
+        assert!(!r.has_race());
+    }
+
+    #[test]
+    fn critical_protects() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel\n{\n#pragma omp critical\n{ x = x + 1; }\n}\n return 0; }",
+        );
+        assert!(!r.has_race());
+    }
+
+    #[test]
+    fn differently_named_criticals_race() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel\n{\n#pragma omp critical (A)\n{ x = x + 1; }\n#pragma omp critical (B)\n{ x = x + 2; }\n}\n return 0; }",
+        );
+        assert!(r.has_race());
+    }
+
+    #[test]
+    fn atomic_protects() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel\n{\n#pragma omp atomic\n x += 1;\n}\n return 0; }",
+        );
+        assert!(!r.has_race());
+    }
+
+    #[test]
+    fn atomic_vs_plain_read_races() {
+        let r = report(
+            "int x, y; int main() {\n#pragma omp parallel\n{\n#pragma omp atomic\n x += 1;\n y = x;\n}\n return 0; }",
+        );
+        assert!(r.has_race());
+    }
+
+    #[test]
+    fn replicated_write_self_races() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel\n{ x = 1; }\n return 0; }",
+        );
+        assert!(r.has_race());
+        assert_eq!(r.races[0].reason, RaceReason::ReplicatedConflict);
+    }
+
+    #[test]
+    fn barrier_orders_segments() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel\n{\n#pragma omp single\n x = 1;\n#pragma omp single nowait\n x = 2;\n}\n return 0; }",
+        );
+        // First single has an implicit barrier → ordered → no race.
+        assert!(!r.has_race(), "{:#?}", r.races);
+    }
+
+    #[test]
+    fn single_nowait_then_single_races() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel\n{\n#pragma omp single nowait\n x = 1;\n#pragma omp single\n x = 2;\n}\n return 0; }",
+        );
+        assert!(r.has_race());
+        assert_eq!(r.races[0].reason, RaceReason::OnceOverlap);
+    }
+
+    #[test]
+    fn sections_conflict_races() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel sections\n{\n#pragma omp section\n x = 1;\n#pragma omp section\n x = 2;\n}\n return 0; }",
+        );
+        assert!(r.has_race());
+        assert_eq!(r.races[0].reason, RaceReason::CrossSection);
+    }
+
+    #[test]
+    fn disjoint_sections_clean() {
+        let r = report(
+            "int x, y; int main() {\n#pragma omp parallel sections\n{\n#pragma omp section\n x = 1;\n#pragma omp section\n y = 2;\n}\n return 0; }",
+        );
+        assert!(!r.has_race());
+    }
+
+    #[test]
+    fn tasks_conflict_races() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel\n{\n#pragma omp single\n{\n#pragma omp task\n x = 1;\n#pragma omp task\n x = 2;\n}\n}\n return 0; }",
+        );
+        assert!(r.has_race());
+        assert!(r.races.iter().any(|x| x.reason == RaceReason::CrossTask));
+    }
+
+    #[test]
+    fn nowait_overlap_races() {
+        let r = report(
+            "int a[100]; int main() {\n#pragma omp parallel\n{\n#pragma omp for nowait\nfor (int i=0;i<100;i++) a[i] = i;\n#pragma omp for\nfor (int j=0;j<100;j++) a[j] = a[j] + 1;\n}\n return 0; }",
+        );
+        assert!(r.has_race());
+        assert!(r.races.iter().any(|x| x.reason == RaceReason::NowaitOverlap));
+    }
+
+    #[test]
+    fn ws_loop_implicit_barrier_clean() {
+        let r = report(
+            "int a[100]; int main() {\n#pragma omp parallel\n{\n#pragma omp for\nfor (int i=0;i<100;i++) a[i] = i;\n#pragma omp for\nfor (int j=0;j<100;j++) a[j] = a[j] + 1;\n}\n return 0; }",
+        );
+        assert!(!r.has_race(), "{:#?}", r.races);
+    }
+
+    #[test]
+    fn indirect_subscript_uncertain_race() {
+        let r = report(
+            "int a[100]; int idx[100]; int main() {\n#pragma omp parallel for\nfor (int i=0;i<100;i++) a[idx[i]] = i;\n return 0; }",
+        );
+        assert!(r.has_race());
+        assert!(!r.races[0].certain);
+        assert_eq!(r.races[0].reason, RaceReason::MayConflict);
+    }
+
+    #[test]
+    fn stride_two_disjoint_clean() {
+        let r = report(
+            "int a[100]; int main() {\n#pragma omp parallel for\nfor (int i=0;i<50;i++) a[2*i] = a[2*i+1];\n return 0; }",
+        );
+        assert!(!r.has_race(), "{:#?}", r.races);
+    }
+
+    #[test]
+    fn ordered_region_serializes() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel for ordered\nfor (int i=0;i<100;i++) {\n#pragma omp ordered\n{ x = x + 1; }\n}\n return 0; }",
+        );
+        assert!(!r.has_race(), "{:#?}", r.races);
+    }
+
+    #[test]
+    fn simd_carried_dep_races() {
+        let r = report(
+            "int a[100]; int main() {\n#pragma omp simd\nfor (int i=0;i<99;i++) a[i] = a[i+1];\n return 0; }",
+        );
+        assert!(r.has_race());
+        assert_eq!(r.races[0].reason, RaceReason::SimdLanes);
+    }
+
+    #[test]
+    fn simd_safelen_respected() {
+        // Distance 32 with safelen(16): lanes never overlap at that gap.
+        let r = report(
+            "int a[200]; int main() {\n#pragma omp simd safelen(16)\nfor (int i=0;i<168;i++) a[i] = a[i+32];\n return 0; }",
+        );
+        assert!(!r.has_race(), "{:#?}", r.races);
+    }
+
+    #[test]
+    fn lock_protected_clean() {
+        let r = report(
+            "int x; long lck; int main() {\n#pragma omp parallel\n{ omp_set_lock(&lck); x = x + 1; omp_unset_lock(&lck); }\n return 0; }",
+        );
+        assert!(!r.has_race());
+    }
+
+    #[test]
+    fn master_then_replicated_races() {
+        let r = report(
+            "int x; int main() {\n#pragma omp parallel\n{\n#pragma omp master\n x = 1;\n int y; y = x;\n}\n return 0; }",
+        );
+        assert!(r.has_race());
+    }
+
+    #[test]
+    fn pair_signatures_dedup() {
+        let r = report(
+            "int a[1000]; int main() { int i;\n#pragma omp parallel for\nfor (i=0;i<999;i++) a[i]=a[i+1]+1;\n return 0; }",
+        );
+        let sigs = r.pair_signatures();
+        assert!(!sigs.is_empty());
+        assert!(sigs.iter().all(|(v, _, _)| v == "a"));
+    }
+}
+
+impl RaceReport {
+    /// Render compiler-style diagnostics against the analyzed source.
+    pub fn render(&self, source: &str) -> String {
+        use std::fmt::Write;
+        let lines: Vec<&str> = source.lines().collect();
+        let mut out = String::new();
+        if self.races.is_empty() {
+            out.push_str("no data races detected\n");
+            return out;
+        }
+        for (n, r) in self.races.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "warning[race {}]: {}{}",
+                n + 1,
+                r.reason.describe(),
+                if r.certain { "" } else { " (possible)" }
+            );
+            for (which, a) in [("first", &r.first), ("second", &r.second)] {
+                let line = a.span.line() as usize;
+                let col = a.span.col() as usize;
+                let _ = writeln!(out, "  --> {which} access `{}` at {line}:{col}", a.text);
+                if let Some(text) = lines.get(line.saturating_sub(1)) {
+                    let _ = writeln!(out, "   |");
+                    let _ = writeln!(out, "{line:3}| {text}");
+                    let caret_pad = " ".repeat(col.saturating_sub(1));
+                    let carets = "^".repeat(a.text.len().max(1).min(40));
+                    let _ = writeln!(
+                        out,
+                        "   | {caret_pad}{carets} {} of `{}`",
+                        match a.kind {
+                            depend::AccessKind::Read => "read",
+                            depend::AccessKind::Write => "write",
+                        },
+                        a.var
+                    );
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{} race(s) reported", self.races.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    #[test]
+    fn render_quotes_source_lines() {
+        let src = "int a[64];\nint main(void)\n{\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 63; i++)\n    a[i] = a[i + 1];\n  return 0;\n}\n";
+        let report = crate::check_source(src).unwrap();
+        let text = report.render(src);
+        assert!(text.contains("warning[race 1]"), "{text}");
+        assert!(text.contains("a[i] = a[i + 1];"), "{text}");
+        assert!(text.contains("^"), "{text}");
+        assert!(text.contains("race(s) reported"), "{text}");
+    }
+
+    #[test]
+    fn render_clean_report() {
+        let report = crate::check_source("int main(void) { return 0; }").unwrap();
+        assert!(report.render("int main(void) { return 0; }").contains("no data races"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Static-detector scenario coverage: OpenMP corner cases beyond the
+//! inline unit tests, exercising the full check() entry point.
+
+use racecheck::{check_source, RaceReason};
+
+fn races(src: &str) -> racecheck::RaceReport {
+    check_source(src).unwrap()
+}
+
+#[test]
+fn firstprivate_protects_reads_and_writes() {
+    let r = races(
+        "int main(void) { int t = 3; int out[64];\n#pragma omp parallel for firstprivate(t)\nfor (int i = 0; i < 64; i++) { t = t + 1; out[i] = t; }\n return 0; }",
+    );
+    assert!(!r.has_race(), "{:#?}", r.races);
+}
+
+#[test]
+fn lastprivate_protects() {
+    let r = races(
+        "int main(void) { int last;\n#pragma omp parallel for lastprivate(last)\nfor (int i = 0; i < 32; i++) last = i;\n return last; }",
+    );
+    assert!(!r.has_race());
+}
+
+#[test]
+fn reduction_on_parallel_directive() {
+    let r = races(
+        "int main(void) { int s = 0;\n#pragma omp parallel reduction(+: s)\n{ s = s + 1; }\n return s; }",
+    );
+    assert!(!r.has_race());
+}
+
+#[test]
+fn atomic_read_and_write_pairs() {
+    let r = races(
+        "int flag; int main(void) {\n#pragma omp parallel\n{ if (omp_get_thread_num() == 0) {\n#pragma omp atomic write\n flag = 1;\n } else { int v;\n#pragma omp atomic read\n v = flag;\n } }\n return 0; }",
+    );
+    assert!(!r.has_race(), "{:#?}", r.races);
+}
+
+#[test]
+fn nested_critical_within_loop() {
+    let r = races(
+        "int s; int main(void) { s = 0;\n#pragma omp parallel for\nfor (int i = 0; i < 16; i++) {\n#pragma omp critical\n{ s = s + i; }\n}\n return s; }",
+    );
+    assert!(!r.has_race());
+}
+
+#[test]
+fn two_parallel_regions_are_ordered() {
+    // Join between regions orders their accesses.
+    let r = races(
+        "int x; int main(void) {\n#pragma omp parallel\n{\n#pragma omp single\n x = 1;\n}\n#pragma omp parallel\n{\n#pragma omp single\n x = x + 1;\n}\n return x; }",
+    );
+    assert!(!r.has_race(), "{:#?}", r.races);
+}
+
+#[test]
+fn taskwait_between_task_and_parent_read() {
+    let r = races(
+        "int v; int probe[4]; int main(void) {\n#pragma omp parallel\n{\n#pragma omp single\n{\n#pragma omp task\n{ v = 9; }\n#pragma omp taskwait\n probe[0] = v;\n}\n}\n return 0; }",
+    );
+    assert!(!r.has_race());
+}
+
+#[test]
+fn loop_carried_flow_dependence_detected() {
+    let r = races(
+        "double u[128]; int main(void) {\n#pragma omp parallel for\nfor (int i = 1; i < 128; i++) u[i] = u[i - 1] * 0.5;\n return 0; }",
+    );
+    assert!(r.has_race());
+    assert!(r.races.iter().any(|x| x.reason == RaceReason::LoopCarried));
+}
+
+#[test]
+fn schedule_clause_does_not_mask_races() {
+    for sched in ["schedule(static)", "schedule(dynamic, 2)", "schedule(guided)"] {
+        let src = format!(
+            "int a[64]; int main(void) {{\n#pragma omp parallel for {sched}\nfor (int i = 0; i < 63; i++) a[i] = a[i + 1];\n return 0; }}"
+        );
+        assert!(races(&src).has_race(), "{sched}");
+    }
+}
+
+#[test]
+fn interprocedural_two_callers() {
+    // The same helper called from serial and parallel contexts: only the
+    // parallel call site races.
+    let r = races(
+        "int g; void bump(void) { g = g + 1; } int main(void) { bump();\n#pragma omp parallel\n{ bump(); }\n return g; }",
+    );
+    assert!(r.has_race());
+}
+
+#[test]
+fn race_report_describes_pairs() {
+    let r = races(
+        "int a[64]; int main(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 63; i++) a[i] = a[i + 1];\n return 0; }",
+    );
+    let desc = r.races[0].describe();
+    assert!(desc.contains("a[i"), "{desc}");
+    assert!(desc.contains(":R") || desc.contains(":W"), "{desc}");
+    let sigs = r.pair_signatures();
+    assert!(!sigs.is_empty());
+}
+
+#[test]
+fn ws_loop_in_orphaned_function_is_serial() {
+    // `omp for` outside a parallel region binds to a team of one.
+    let r = races(
+        "int a[32]; void helper(void) {\n#pragma omp for\nfor (int i = 0; i < 31; i++) a[i] = a[i + 1];\n} int main(void) { helper(); return 0; }",
+    );
+    assert!(!r.has_race(), "{:#?}", r.races);
+}
+
+#[test]
+fn collapse_both_dimensions_race() {
+    let r = races(
+        "double c[8][8]; int main(void) { int i, j;\n#pragma omp parallel for collapse(2)\nfor (i = 0; i < 7; i++) for (j = 0; j < 8; j++) c[i][j] = c[i + 1][j];\n return 0; }",
+    );
+    assert!(r.has_race());
+}
+
+#[test]
+fn guarded_parallelism_with_if_expression() {
+    // Non-constant if clause: must stay parallel (conservative).
+    let r = races(
+        "int main(int argc, char* argv[]) { int a[32];\n#pragma omp parallel for if(argc > 1)\nfor (int i = 0; i < 31; i++) a[i] = a[i + 1];\n return 0; }",
+    );
+    assert!(r.has_race());
+}
+
+#[test]
+fn whole_corpus_static_sweep_is_deterministic() {
+    let corpus = drb_gen::corpus();
+    let first: Vec<bool> = corpus
+        .iter()
+        .step_by(9)
+        .map(|k| check_source(&k.trimmed_code).unwrap().has_race())
+        .collect();
+    let second: Vec<bool> = corpus
+        .iter()
+        .step_by(9)
+        .map(|k| check_source(&k.trimmed_code).unwrap().has_race())
+        .collect();
+    assert_eq!(first, second);
+}

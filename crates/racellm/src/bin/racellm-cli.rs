@@ -1,0 +1,94 @@
+//! `racellm-cli` — command-line front door.
+//!
+//! ```text
+//! racellm-cli analyze <file.c>            run every detector on a C/OpenMP file
+//! racellm-cli modality <file.c> <kind>    print source|ast|depgraph|cfg
+//! racellm-cli dataset <out_dir>           export the DRB-ML JSON dataset
+//! racellm-cli corpus                      list the 201 corpus kernels
+//! ```
+
+use racellm::{drb_gen, drb_ml, llm, Pipeline};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  racellm-cli analyze <file.c>\n  racellm-cli modality <file.c> <source|ast|depgraph|cfg>\n  racellm-cli dataset <out_dir>\n  racellm-cli corpus"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let pipeline = Pipeline::new();
+            let trimmed = racellm::minic::trim_comments(&src);
+            match pipeline.analyze(&src) {
+                Ok(r) => {
+                    println!("tokens: {}", r.tokens);
+                    // Compiler-style static diagnostics against the
+                    // trimmed code (what the line numbers refer to).
+                    if let Ok(report) = racellm::racecheck::check_source(&trimmed.code) {
+                        println!("{}", report.render(&trimmed.code));
+                    }
+                    println!("static  : race = {}", r.static_verdict);
+                    for race in &r.static_races {
+                        println!("  {race}");
+                    }
+                    println!("dynamic : race = {}", r.dynamic_verdict);
+                    for race in r.dynamic_races.iter().take(5) {
+                        println!("  {race}");
+                    }
+                    for (m, text, _) in &r.llm_answers {
+                        println!("{m:4}: {text}");
+                    }
+                    std::process::exit(i32::from(r.static_verdict || r.dynamic_verdict));
+                }
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("modality") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let kind = match args.get(2).map(String::as_str) {
+                Some("source") => llm::Modality::SourceText,
+                Some("ast") => llm::Modality::AstSexpr,
+                Some("depgraph") => llm::Modality::DependenceGraph,
+                Some("cfg") => llm::Modality::ControlFlowGraph,
+                _ => usage(),
+            };
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let trimmed = racellm::minic::trim_comments(&src);
+            println!("{}", llm::render_modality(&trimmed.code, kind));
+        }
+        Some("dataset") => {
+            let out = std::path::PathBuf::from(args.get(1).unwrap_or_else(|| usage()));
+            drb_ml::Dataset::generate().export_dir(&out).unwrap_or_else(|e| {
+                eprintln!("export failed: {e}");
+                std::process::exit(1);
+            });
+            println!("exported 201 DRB-ML entries to {}", out.display());
+        }
+        Some("corpus") => {
+            for k in drb_gen::corpus() {
+                println!(
+                    "{:40} {} {:18} {}",
+                    k.name,
+                    if k.race { "yes" } else { "no " },
+                    k.category.as_str(),
+                    k.description
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,167 @@
+//! `racellm` — reproduction of *Data Race Detection Using Large
+//! Language Models* (Chen et al., Correctness @ SC'23).
+//!
+//! This umbrella crate re-exports the whole workspace and offers a
+//! high-level [`Pipeline`] that mirrors the paper's Figure 1: DRB-ML
+//! dataset construction → prompt engineering → (surrogate) LLM
+//! inference → output parsing → metrics, alongside the traditional
+//! static and dynamic detectors used as the comparison baseline.
+//!
+//! ```
+//! let pipeline = racellm::Pipeline::new();
+//! let report = pipeline.analyze(r#"
+//! int a[100];
+//! int main(void) {
+//!   int i;
+//!   #pragma omp parallel for
+//!   for (i = 0; i < 99; i++)
+//!     a[i] = a[i + 1];
+//!   return 0;
+//! }
+//! "#).unwrap();
+//! assert!(report.static_verdict);
+//! assert!(report.dynamic_verdict);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use depend;
+pub use drb_gen;
+pub use drb_ml;
+pub use eval;
+pub use finetune;
+pub use hbsan;
+pub use llm;
+pub use minic;
+pub use racecheck;
+
+use llm::{KernelView, ModelKind, PromptStrategy, Surrogate};
+use serde::{Deserialize, Serialize};
+
+/// Combined verdicts for one analyzed source snippet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Static detector verdict (racecheck).
+    pub static_verdict: bool,
+    /// Static race descriptions (`var@line:col:OP vs. …`).
+    pub static_races: Vec<String>,
+    /// Dynamic happens-before verdict (hbsan, 3 schedules).
+    pub dynamic_verdict: bool,
+    /// Dynamic race descriptions.
+    pub dynamic_races: Vec<String>,
+    /// Per-model LLM answers (free text) and parsed verdicts, p1 prompt.
+    pub llm_answers: Vec<(String, String, Option<bool>)>,
+    /// Token count of the trimmed code.
+    pub tokens: usize,
+}
+
+/// The end-to-end pipeline of Figure 1.
+pub struct Pipeline {
+    views: Vec<KernelView>,
+    surrogates: Vec<(ModelKind, Surrogate)>,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// Build the pipeline: generate the corpus, derive DRB-ML, calibrate
+    /// the four surrogates.
+    pub fn new() -> Pipeline {
+        let views = drb_ml::Dataset::generate().subset_views();
+        let surrogates = eval::surrogates(&views);
+        Pipeline { views, surrogates }
+    }
+
+    /// The evaluation subset the pipeline was calibrated on.
+    pub fn views(&self) -> &[KernelView] {
+        &self.views
+    }
+
+    /// Surrogate for a model.
+    pub fn surrogate(&self, kind: ModelKind) -> &Surrogate {
+        &self.surrogates.iter().find(|(k, _)| *k == kind).expect("all four present").1
+    }
+
+    /// Analyze an arbitrary snippet with every tool in the workspace.
+    ///
+    /// For code outside the calibrated corpus, the LLM verdicts come from
+    /// the surrogate's feature-based suspicion score (what the decision
+    /// layer degrades to without a calibration entry).
+    pub fn analyze(&self, source: &str) -> minic::Result<AnalysisReport> {
+        let trimmed = minic::trim_comments(source);
+        let unit = minic::parse(&trimmed.code)?;
+
+        let st = racecheck::check(&unit);
+        let dy = hbsan::check_adversarial(&unit, &hbsan::Config::default(), &[1, 7, 23])
+            .map(|r| r)
+            .unwrap_or_default();
+
+        let features = llm::CodeFeatures::extract(&trimmed.code);
+        let mut llm_answers = Vec::new();
+        for (kind, _s) in &self.surrogates {
+            let depth = llm::ModelProfile::of(*kind).depth;
+            let suspicious = features.race_suspicion(depth) > 0.5;
+            let text = if suspicious {
+                format!("Yes, {} suspects a data race in this code.", kind.name())
+            } else {
+                format!("No, {} does not see a data race here.", kind.name())
+            };
+            let verdict = match eval::parse_verdict(&text) {
+                eval::Verdict::Yes => Some(true),
+                eval::Verdict::No => Some(false),
+                eval::Verdict::Unknown => None,
+            };
+            llm_answers.push((kind.short().to_string(), text, verdict));
+        }
+
+        Ok(AnalysisReport {
+            static_verdict: st.has_race(),
+            static_races: st.races.iter().map(racecheck::Race::describe).collect(),
+            dynamic_verdict: dy.has_race(),
+            dynamic_races: dy.races.iter().map(hbsan::DynRace::describe).collect(),
+            llm_answers,
+            tokens: llm::count_tokens(&trimmed.code),
+        })
+    }
+
+    /// Run one calibrated detection experiment (model × prompt) over the
+    /// evaluation subset.
+    pub fn detection(&self, kind: ModelKind, strategy: PromptStrategy) -> eval::Confusion {
+        eval::run_detection(self.surrogate(kind), strategy, &self.views).0
+    }
+
+    /// The traditional-tool baseline confusion over the subset.
+    pub fn baseline(&self) -> eval::Confusion {
+        eval::run_baseline(&self.views)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_analyzes_clean_code() {
+        let p = Pipeline::new();
+        let r = p
+            .analyze(
+                "int a[64]; int main(void) {\n#pragma omp parallel for\nfor (int i=0;i<64;i++) a[i]=i;\n return 0; }",
+            )
+            .unwrap();
+        assert!(!r.static_verdict);
+        assert!(!r.dynamic_verdict);
+        assert_eq!(r.llm_answers.len(), 4);
+    }
+
+    #[test]
+    fn pipeline_detection_matches_eval() {
+        let p = Pipeline::new();
+        let c = p.detection(ModelKind::Gpt4, PromptStrategy::P1);
+        assert_eq!(c.total(), 198);
+        assert!(p.baseline().f1() > c.f1());
+    }
+}

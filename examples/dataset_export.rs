@@ -1,0 +1,54 @@
+//! Export the DRB-ML dataset as the paper describes it: 201 JSON files
+//! with the Table-1 schema, plus fine-tuning prompt–response pairs.
+//!
+//!     cargo run --release -p racellm --example dataset_export [out_dir]
+
+use racellm::drb_ml::{detection_pair, varid_pair, Dataset};
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("drb-ml"));
+
+    let ds = Dataset::generate();
+    ds.export_dir(&out).expect("writable output directory");
+
+    let subset = ds.subset_4k();
+    let (yes, no) = Dataset::label_counts(subset.iter().copied());
+    println!("DRB-ML exported to {}", out.display());
+    println!("  entries        : {}", ds.entries.len());
+    println!("  ≤4k-token subset: {} ({yes} race-yes / {no} race-no)", subset.len());
+
+    // Fine-tuning pairs (Listings 8 and 9).
+    let det: Vec<_> = subset.iter().map(|e| detection_pair(e)).collect();
+    let vid: Vec<_> = subset.iter().map(|e| varid_pair(e)).collect();
+    std::fs::write(
+        out.join("finetune_detection.json"),
+        serde_json::to_string_pretty(&det).unwrap(),
+    )
+    .unwrap();
+    std::fs::write(
+        out.join("finetune_varid.json"),
+        serde_json::to_string_pretty(&vid).unwrap(),
+    )
+    .unwrap();
+    println!("  fine-tune pairs: {} detection + {} var-id", det.len(), vid.len());
+
+    // Dataset statistics (the §3.2/§3.5 summary numbers).
+    let st = racellm::drb_ml::stats(true);
+    println!("\nSubset statistics:");
+    println!("  positive share : {:.1}%", st.positive_share * 100.0);
+    println!("  tokens min/med/max: {}/{}/{}", st.tokens_min, st.tokens_median, st.tokens_max);
+    println!("  mean code_len  : {:.0} chars", st.code_len_mean);
+    println!("  categories     : {}", st.per_category.len());
+
+    // Show one entry like the paper's Listing 2.
+    let sample = &ds.entries[0];
+    println!("\nSample entry ({}):", sample.name);
+    let mut shown = sample.clone();
+    shown.drb_code = "…".into();
+    shown.trimmed_code = "…".into();
+    println!("{}", serde_json::to_string_pretty(&shown).unwrap());
+}

@@ -1,0 +1,36 @@
+//! Fine-tuning demo: QLoRA-style adapter training on one CV fold,
+//! before/after metrics (the §3.4 / Table 4 machinery in miniature).
+//!
+//!     cargo run --release -p racellm --example finetune_demo
+
+use racellm::{drb_ml, eval, finetune, llm};
+
+fn main() {
+    let views = drb_ml::Dataset::generate().subset_views();
+    let model = llm::ModelKind::StarChatBeta;
+    finetune::check_finetunable(model).expect("open-weight model");
+
+    let surrogate = llm::Surrogate::new(model, &views);
+    let folds = finetune::folds_for(&views, 5, 20230915);
+    let cfg = finetune::TrainConfig::for_model(model);
+
+    println!("Model: {} | folds: {} | config: {cfg:?}\n", model.name(), folds.len());
+
+    for (i, fold) in folds.iter().enumerate() {
+        let train: Vec<llm::KernelView> = fold.train.iter().map(|&j| views[j].clone()).collect();
+        let ft = finetune::FineTuned::train(&surrogate, &train, &cfg);
+
+        let mut base = eval::Confusion::default();
+        let mut tuned = eval::Confusion::default();
+        for &j in &fold.test {
+            let k = &views[j];
+            base.record(k.race, surrogate.predict(k, llm::PromptStrategy::P1));
+            tuned.record(k.race, ft.predict(&surrogate, k));
+        }
+        println!("fold {i}: base  {base}");
+        println!("        tuned {tuned}");
+    }
+
+    println!("\nFull Table 4:");
+    println!("{}", eval::format_cv_table("", &eval::table4()));
+}

@@ -1,0 +1,39 @@
+//! Prompt playground: render every prompt strategy for one benchmark and
+//! show each model's raw response plus what the parser extracts — the
+//! §4.5 "natural language output processing" pipeline made visible.
+//!
+//!     cargo run --release -p racellm --example prompt_playground [kernel_id]
+
+use racellm::{drb_ml, eval, llm};
+
+fn main() {
+    let id: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let views = drb_ml::Dataset::generate().subset_views();
+    let view = views.iter().find(|v| v.id == id).unwrap_or(&views[0]).clone();
+    println!("Kernel SRB{:03} (race = {}):\n{}\n", view.id, view.race, view.trimmed_code);
+
+    for strategy in [
+        llm::PromptStrategy::P1,
+        llm::PromptStrategy::P2,
+        llm::PromptStrategy::P3,
+        llm::PromptStrategy::Bp2,
+    ] {
+        println!("================ strategy {} ================", strategy.label());
+        let prompts = drb_ml::render(strategy, &view.trimmed_code);
+        println!("prompt turn 1 (first 160 chars):\n  {}…\n", &prompts[0][..160.min(prompts[0].len())]);
+
+        for kind in llm::ModelKind::ALL {
+            let s = llm::Surrogate::new(kind, &views);
+            let mut chat = llm::ChatSession::new(&s, &view, strategy);
+            let mut last = String::new();
+            for p in &prompts {
+                last = chat.send(p);
+            }
+            let verdict = eval::parse_verdict(&last);
+            let pairs = eval::parse_pairs(&last);
+            println!("{:4} → {verdict:?} | pairs: {}", kind.short(), pairs.is_some());
+            println!("     {last}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Tool shoot-out: static analyzer vs dynamic checker vs the four LLM
+//! surrogates, per pattern category — the comparative study of §4.4.
+//!
+//!     cargo run --release -p racellm --example tool_shootout
+
+use racellm::{drb_gen, drb_ml, eval, hbsan, llm, racecheck};
+use std::collections::BTreeMap;
+
+fn main() {
+    let corpus = drb_gen::corpus();
+    let views = drb_ml::Dataset::generate().subset_views();
+    let gpt4 = llm::Surrogate::new(llm::ModelKind::Gpt4, &views);
+
+    // category → (total, static ok, dynamic ok, gpt4 ok)
+    let mut per_cat: BTreeMap<&'static str, (u32, u32, u32, u32)> = BTreeMap::new();
+
+    for v in &views {
+        let k = corpus.iter().find(|k| k.id == v.id).unwrap();
+        let stat = racecheck::check_source(&k.trimmed_code).unwrap().has_race();
+        let unit = racellm::minic::parse(&k.trimmed_code).unwrap();
+        let dyn_ = hbsan::check_adversarial(&unit, &hbsan::Config::default(), &[1, 7])
+            .map(|r| r.has_race())
+            .unwrap_or(false);
+        let llm_ = gpt4.predict(v, llm::PromptStrategy::P1);
+        let e = per_cat.entry(k.category.as_str()).or_default();
+        e.0 += 1;
+        e.1 += u32::from(stat == k.race);
+        e.2 += u32::from(dyn_ == k.race);
+        e.3 += u32::from(llm_ == k.race);
+    }
+
+    println!("Accuracy by kernel category (198-entry subset):\n");
+    println!("{:<18} {:>5} {:>8} {:>8} {:>8}", "category", "n", "static", "dynamic", "GPT4");
+    for (cat, (n, s, d, l)) in &per_cat {
+        println!(
+            "{:<18} {:>5} {:>7.0}% {:>7.0}% {:>7.0}%",
+            cat,
+            n,
+            100.0 * *s as f64 / *n as f64,
+            100.0 * *d as f64 / *n as f64,
+            100.0 * *l as f64 / *n as f64,
+        );
+    }
+
+    println!("\nOverall:");
+    println!("  static : {}", eval::run_baseline(&views));
+    let (c, _) = eval::run_detection(&gpt4, llm::PromptStrategy::P1, &views);
+    println!("  GPT-4  : {c}");
+}

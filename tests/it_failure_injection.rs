@@ -1,0 +1,116 @@
+//! Failure injection: malformed inputs and outputs anywhere in the
+//! pipeline must degrade, never panic (paper §4.5's parsing challenge,
+//! plus frontend robustness).
+
+use racellm::{eval, hbsan, llm, minic, racecheck};
+
+#[test]
+fn parser_survives_mutated_kernels() {
+    // Mutate corpus kernels by deleting characters; parsing may fail but
+    // must not panic, and failures must be clean errors.
+    let corpus = racellm::drb_gen::corpus();
+    for (n, k) in corpus.iter().step_by(17).enumerate() {
+        let mut s = k.trimmed_code.clone();
+        let cut = (n * 37) % s.len().max(1);
+        s.remove(cut.min(s.len().saturating_sub(1)));
+        let _ = minic::parse(&s); // Ok or Err, never panic
+    }
+}
+
+#[test]
+fn detectors_survive_parse_failures() {
+    assert!(racecheck::check_source("int main() {").is_err());
+    assert!(hbsan::check_source("int main() {", &hbsan::Config::default()).is_err());
+}
+
+#[test]
+fn verdict_parser_handles_adversarial_responses() {
+    let cases = [
+        "",
+        "Maybe?",
+        "yes and no",
+        "No race... wait, actually yes, there is a data race on x!",
+        "```json\n{\"data_race\": 1}\n```",
+        "The answer is:\n\n\n",
+        "NO DATA RACE WHATSOEVER",
+        "yes\nyes\nyes",
+        "\u{0000}\u{FFFF} yes",
+    ];
+    for c in cases {
+        let _ = eval::parse_verdict(c); // must not panic
+    }
+    assert_eq!(eval::parse_verdict("```json\n{\"data_race\": 1}\n```"), eval::Verdict::Yes);
+    assert_eq!(eval::parse_verdict("NO DATA RACE WHATSOEVER"), eval::Verdict::No);
+}
+
+#[test]
+fn pair_parser_handles_truncated_json() {
+    let cases = [
+        "yes\n{\"variable_names\": [\"a[i]\"",
+        "yes\n{\"variable_names\": [], \"variable_locations\": []}",
+        "yes\n{\"variable_names\": [\"x\", \"y\"], \"variable_locations\": [\"not\", \"numbers\"]}",
+        "yes {",
+        "yes }",
+    ];
+    for c in cases {
+        let _ = eval::parse_pairs(c); // Option, never panic
+    }
+}
+
+#[test]
+fn interpreter_rejects_runaway_and_oob_programs() {
+    let loops = "int main() { for (;;) { int x; x = 1; } return 0; }";
+    let unit = minic::parse(loops).unwrap();
+    assert!(matches!(
+        hbsan::run(&unit, &hbsan::Config { fuel: 5_000, ..Default::default() }),
+        Err(hbsan::RtError::FuelExhausted)
+    ));
+
+    let oob = "int a[2]; int main() { a[99] = 1; return 0; }";
+    let unit = minic::parse(oob).unwrap();
+    assert!(matches!(
+        hbsan::run(&unit, &hbsan::Config::default()),
+        Err(hbsan::RtError::BadAddress(_))
+    ));
+
+    let div0 = "int main() { int x = 1 / 0; return x; }";
+    let unit = minic::parse(div0).unwrap();
+    assert!(matches!(
+        hbsan::run(&unit, &hbsan::Config::default()),
+        Err(hbsan::RtError::DivByZero)
+    ));
+}
+
+#[test]
+fn unknown_code_gets_feature_fallback_not_a_crash() {
+    // Arbitrary (non-corpus) code through the umbrella pipeline.
+    let p = racellm::Pipeline::new();
+    let exotic = r#"
+double q[32];
+void kernel(void)
+{
+  int t;
+  #pragma omp parallel for schedule(guided, 3)
+  for (t = 0; t < 31; t++)
+    q[t] = q[t + 1] * 0.5;
+}
+"#;
+    let report = p.analyze(exotic).unwrap();
+    assert!(report.static_verdict);
+    assert_eq!(report.llm_answers.len(), 4);
+}
+
+#[test]
+fn surrogate_answers_remain_parseable_under_every_style() {
+    // The format-breaking paths (prose, malformed JSON) must still yield
+    // a verdict through the fallback layers.
+    let views = racellm::drb_ml::Dataset::generate().subset_views();
+    for kind in llm::ModelKind::ALL {
+        let s = llm::Surrogate::new(kind, &views);
+        for v in views.iter().step_by(7) {
+            let ans = s.answer_varid(v);
+            let verdict = eval::parse_verdict(&ans);
+            assert_ne!(verdict, eval::Verdict::Unknown, "{kind:?}: {ans}");
+        }
+    }
+}
