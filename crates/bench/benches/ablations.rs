@@ -101,13 +101,13 @@ fn ablate_augmentation(c: &mut Criterion) {
     for v in &train {
         let Some(k) = corpus.iter().find(|k| k.id == v.id) else { continue };
         for (j, m) in drb_gen::augment(k, 7).into_iter().enumerate() {
-            augmented.push(llm::KernelView {
-                id: 10_000 + v.id * 4 + j as u32,
-                trimmed_code: m.trimmed_code,
-                race: m.race,
-                pairs: vec![],
-                difficulty: v.difficulty,
-            });
+            augmented.push(llm::KernelView::new(
+                10_000 + v.id * 4 + j as u32,
+                m.trimmed_code,
+                m.race,
+                vec![],
+                v.difficulty,
+            ));
         }
     }
 

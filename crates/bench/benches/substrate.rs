@@ -94,5 +94,61 @@ fn bench_corpus_scale(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_frontend, bench_analyses, bench_corpus_scale);
+fn bench_artifact_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("artifact_cache");
+    g.sample_size(10);
+    let views = drb_ml::Dataset::generate().subset_views();
+
+    // Cold: re-derive features from source per sweep (the pre-cache
+    // behaviour of every answer path and the fine-tuning loop).
+    g.bench_function("feature_sweep_cold_198", |b| {
+        b.iter(|| {
+            let ds = eval::par_map(&views, eval::default_workers(), |k| {
+                llm::CodeFeatures::extract(&k.trimmed_code).surface_difficulty()
+            });
+            black_box(ds)
+        })
+    });
+    // Cached: read the shared artifact.
+    g.bench_function("feature_sweep_cached_198", |b| {
+        b.iter(|| {
+            let ds = eval::par_map(&views, eval::default_workers(), |k| {
+                k.artifact().surface_difficulty
+            });
+            black_box(ds)
+        })
+    });
+
+    // Same pair for the static-detector baseline row.
+    g.bench_function("baseline_cold_parse_198", |b| {
+        b.iter(|| {
+            let preds = eval::par_map(&views, eval::default_workers(), |k| {
+                racecheck::check_source(&k.trimmed_code).map(|r| r.has_race()).unwrap_or(false)
+            });
+            black_box(preds)
+        })
+    });
+    g.bench_function("baseline_cached_ast_198", |b| {
+        b.iter(|| black_box(eval::run_baseline(&views)))
+    });
+
+    // And for the fine-tuning feature vectors (per fold × epoch cost).
+    g.bench_function("finetune_vectors_cold_198", |b| {
+        b.iter(|| {
+            let xs: Vec<Vec<f64>> =
+                views.iter().map(|k| finetune::feature_vector(&k.trimmed_code)).collect();
+            black_box(xs)
+        })
+    });
+    g.bench_function("finetune_vectors_cached_198", |b| {
+        b.iter(|| {
+            let xs: Vec<Vec<f64>> =
+                views.iter().map(|k| finetune::feature_vector_of(k).to_vec()).collect();
+            black_box(xs)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_analyses, bench_corpus_scale, bench_artifact_cache);
 criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Parse-count proof for the once-per-kernel artifact cache.
+//!
+//! Gated behind the `count-parses` feature (which enables an atomic
+//! counter inside `minic::parse`):
+//!
+//! ```text
+//! cargo test -p bench --features count-parses
+//! ```
+//!
+//! With the feature off this file compiles to nothing, so the tier-1
+//! test run is unaffected.
+#![cfg(feature = "count-parses")]
+
+/// Regenerating Table 3 must parse each of the 198 subset kernels
+/// exactly once (at view-build time), and a second regeneration must
+/// not parse at all.
+#[test]
+fn table3_parses_each_subset_kernel_exactly_once() {
+    // Corpus generation parses during its own construction/validation
+    // passes; warm it first so the counter only sees kernel analysis.
+    let _ = drb_gen::corpus();
+    let _ = drb_ml::Dataset::generate().subset_4k();
+
+    minic::reset_parse_count();
+    let first = eval::table3();
+    let cold = minic::parse_count();
+    assert_eq!(cold, 198, "cold Table 3 must parse once per subset kernel");
+
+    let second = eval::table3();
+    assert_eq!(minic::parse_count(), cold, "warm Table 3 must not parse at all");
+    assert_eq!(first, second, "cached rerun must reproduce identical rows");
+
+    // The rest of the table suite rides on the same cache: no new parses.
+    let _ = eval::table2();
+    let _ = eval::table5();
+    assert_eq!(minic::parse_count(), cold, "tables 2 and 5 must reuse the cached artifacts");
+}

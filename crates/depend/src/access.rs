@@ -196,14 +196,9 @@ impl Collector {
                 // Unwind nested Index to get base + subscript list.
                 let mut subs_rev = Vec::new();
                 let mut cur = e;
-                loop {
-                    match cur {
-                        Expr::Index { base, index, .. } => {
-                            subs_rev.push(index.as_ref());
-                            cur = base;
-                        }
-                        _ => break,
-                    }
+                while let Expr::Index { base, index, .. } = cur {
+                    subs_rev.push(index.as_ref());
+                    cur = base;
                 }
                 // Subscript expressions themselves are reads.
                 for idx in subs_rev.iter().rev() {

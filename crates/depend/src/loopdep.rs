@@ -165,28 +165,26 @@ pub fn loop_bounds(f: &ForStmt) -> LoopBounds {
     // The far end of the range from the condition, normalized to an
     // *exclusive-when-increasing / inclusive-low-when-decreasing* limit.
     let mut limit = None; // (value, inclusive)
-    if let (Some(var), Some(cond)) = (var, &f.cond) {
-        if let Expr::Binary { op, lhs, rhs, .. } = cond {
-            let lhs_is_var = matches!(lhs.as_ref(), Expr::Ident { name, .. } if name == var);
-            let rhs_is_var = matches!(rhs.as_ref(), Expr::Ident { name, .. } if name == var);
-            if lhs_is_var {
-                limit = match op {
-                    BinOp::Lt => rhs.const_int().map(|v| (v, false)),
-                    BinOp::Le => rhs.const_int().map(|v| (v, true)),
-                    BinOp::Gt => rhs.const_int().map(|v| (v, false)),
-                    BinOp::Ge => rhs.const_int().map(|v| (v, true)),
-                    _ => None,
-                };
-            } else if rhs_is_var {
-                // `ub > i` etc., with the variable on the right.
-                limit = match op {
-                    BinOp::Gt => lhs.const_int().map(|v| (v, false)),
-                    BinOp::Ge => lhs.const_int().map(|v| (v, true)),
-                    BinOp::Lt => lhs.const_int().map(|v| (v, false)),
-                    BinOp::Le => lhs.const_int().map(|v| (v, true)),
-                    _ => None,
-                };
-            }
+    if let (Some(var), Some(Expr::Binary { op, lhs, rhs, .. })) = (var, &f.cond) {
+        let lhs_is_var = matches!(lhs.as_ref(), Expr::Ident { name, .. } if name == var);
+        let rhs_is_var = matches!(rhs.as_ref(), Expr::Ident { name, .. } if name == var);
+        if lhs_is_var {
+            limit = match op {
+                BinOp::Lt => rhs.const_int().map(|v| (v, false)),
+                BinOp::Le => rhs.const_int().map(|v| (v, true)),
+                BinOp::Gt => rhs.const_int().map(|v| (v, false)),
+                BinOp::Ge => rhs.const_int().map(|v| (v, true)),
+                _ => None,
+            };
+        } else if rhs_is_var {
+            // `ub > i` etc., with the variable on the right.
+            limit = match op {
+                BinOp::Gt => lhs.const_int().map(|v| (v, false)),
+                BinOp::Ge => lhs.const_int().map(|v| (v, true)),
+                BinOp::Lt => lhs.const_int().map(|v| (v, false)),
+                BinOp::Le => lhs.const_int().map(|v| (v, true)),
+                _ => None,
+            };
         }
     }
 
@@ -260,7 +258,7 @@ pub fn pairwise_dependences(
             if a1.var != a2.var || !a1.kind.conflicts(&a2.kind) {
                 continue;
             }
-            if private.iter().any(|p| *p == a1.var) {
+            if private.contains(&a1.var) {
                 continue;
             }
             let Some(kind) = DepKind::classify(a1.kind, a2.kind) else { continue };

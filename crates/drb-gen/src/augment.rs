@@ -306,7 +306,7 @@ pub fn mutate(k: &Kernel, m: Mutation, seed: u64) -> Option<Kernel> {
             for (i, line) in k.code.lines().enumerate() {
                 out.push_str(line);
                 out.push('\n');
-                if mix(seed, i as u64) % 5 == 0 {
+                if mix(seed, i as u64).is_multiple_of(5) {
                     out.push_str(decoys[(mix(seed, i as u64 + 1000) % 4) as usize]);
                     out.push('\n');
                 }

@@ -22,6 +22,9 @@
 pub mod augment;
 pub mod corpus;
 pub mod spec;
+// Template modules build kernel lists by sequential `push` so each kernel
+// can carry its own comment block; silence the vec![]-style suggestion.
+#[allow(clippy::vec_init_then_push)]
 pub mod templates;
 
 pub use augment::{augment, mutate, Mutation};

@@ -96,7 +96,7 @@ int main(void)
             true,
             vec![PairSpec {
                 first: SideSpec::new("a[i]", Op::R),
-                second: SideSpec::new(&format!("a[i + {stride}]"), Op::W),
+                second: SideSpec::new(format!("a[i + {stride}]"), Op::W),
             }],
         ));
     }

@@ -94,8 +94,8 @@ int main(void)
             ),
             true,
             vec![PairSpec {
-                first: SideSpec::nth(&format!("a[{c}]"), Op::W, 0),
-                second: SideSpec::nth(&format!("a[{c}]"), Op::W, 0),
+                first: SideSpec::nth(format!("a[{c}]"), Op::W, 0),
+                second: SideSpec::nth(format!("a[{c}]"), Op::W, 0),
             }],
         ));
     }

@@ -46,19 +46,35 @@ impl Dataset {
     }
 
     /// Surrogate views for the evaluation subset, difficulty included.
+    ///
+    /// Each view carries its analysis artifact (AST, tokens, features),
+    /// computed in parallel at build time. For the canonical
+    /// [`Dataset::generate`] dataset the views are built once and cached:
+    /// subsequent calls clone the views, and clones share the artifact
+    /// cells, so every kernel is analyzed exactly once per process.
     pub fn subset_views(&self) -> Vec<KernelView> {
+        static VIEWS: OnceLock<Vec<KernelView>> = OnceLock::new();
+        if std::ptr::eq(self, Dataset::generate()) {
+            return VIEWS.get_or_init(|| self.build_subset_views()).clone();
+        }
+        self.build_subset_views()
+    }
+
+    fn build_subset_views(&self) -> Vec<KernelView> {
         let kernels = drb_gen::corpus();
-        self.subset_4k()
-            .iter()
+        let jobs: Vec<(&DrbMlEntry, f64)> = self
+            .subset_4k()
+            .into_iter()
             .map(|e| {
                 let cat = kernels
                     .iter()
                     .find(|k| k.id == e.id)
                     .map(|k| k.category.difficulty())
                     .unwrap_or(0.5);
-                e.to_view(cat)
+                (e, cat)
             })
-            .collect()
+            .collect();
+        par_views(&jobs)
     }
 
     /// Write one JSON file per entry (`DRB-ML-xxx.json`), mirroring the
@@ -88,6 +104,49 @@ impl Dataset {
         entries.sort_by_key(|e| e.id);
         Ok(Dataset { entries })
     }
+}
+
+/// Analyze entries into views in parallel: scoped workers claim indices
+/// off an atomic counter, collect `(index, view)` pairs locally, and the
+/// results are scattered in order after the join. Honors the
+/// `RACELLM_WORKERS` override used by the sweep layer.
+fn par_views(jobs: &[(&DrbMlEntry, f64)]) -> Vec<KernelView> {
+    let env_workers = std::env::var("RACELLM_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1));
+    let workers = env_workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+        .min(16)
+        .min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.iter().map(|(e, cat)| e.to_view(*cat)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, KernelView)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::with_capacity(jobs.len() / workers + 1);
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some((e, cat)) = jobs.get(i) else { break };
+                        local.push((i, e.to_view(*cat)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("analysis worker panicked")).collect()
+    });
+    let mut out: Vec<Option<KernelView>> = Vec::with_capacity(jobs.len());
+    out.resize_with(jobs.len(), || None);
+    for buf in &mut collected {
+        for (i, v) in buf.drain(..) {
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter().map(|slot| slot.expect("every index filled")).collect()
 }
 
 #[cfg(test)]

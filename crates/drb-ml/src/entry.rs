@@ -83,27 +83,32 @@ impl DrbMlEntry {
     }
 
     /// Bridge to the surrogate's view, with the combined difficulty
-    /// (category + surface features).
+    /// (category + surface features). The analysis artifact (AST,
+    /// tokens, features) is computed here — once — and travels with the
+    /// view, so no downstream stage re-derives it.
     pub fn to_view(&self, category_difficulty: f64) -> KernelView {
-        let surface = llm::CodeFeatures::extract(&self.trimmed_code).surface_difficulty();
-        KernelView {
-            id: self.id,
-            trimmed_code: self.trimmed_code.clone(),
-            race: self.data_race == 1,
-            pairs: self
-                .var_pairs
-                .iter()
-                .map(|p| PairView {
-                    names: (p.name[0].clone(), p.name[1].clone()),
-                    lines: (p.line[0], p.line[1]),
-                    ops: (
-                        op_word(&p.operation[0]).to_string(),
-                        op_word(&p.operation[1]).to_string(),
-                    ),
-                })
-                .collect(),
-            difficulty: 0.6 * category_difficulty + 0.4 * surface,
-        }
+        let artifact = llm::AnalyzedKernel::analyze(&self.trimmed_code);
+        let difficulty = 0.6 * category_difficulty + 0.4 * artifact.surface_difficulty;
+        let pairs = self
+            .var_pairs
+            .iter()
+            .map(|p| PairView {
+                names: (p.name[0].clone(), p.name[1].clone()),
+                lines: (p.line[0], p.line[1]),
+                ops: (
+                    op_word(&p.operation[0]).to_string(),
+                    op_word(&p.operation[1]).to_string(),
+                ),
+            })
+            .collect();
+        KernelView::with_artifact(
+            self.id,
+            self.trimmed_code.clone(),
+            self.data_race == 1,
+            pairs,
+            difficulty,
+            artifact,
+        )
     }
 }
 

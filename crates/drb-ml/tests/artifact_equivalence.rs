@@ -1,0 +1,74 @@
+//! Cache-equivalence guarantees for the once-per-kernel artifact layer.
+//!
+//! The calibrated operating points — and therefore every table — depend
+//! on features being *identical* whether they come from a fresh
+//! `CodeFeatures::extract` or from a view's cached `AnalyzedKernel`.
+//! These tests pin that invariant over the full corpus (all 201
+//! entries, including the 3 that the 4k filter drops) and over
+//! arbitrary — including unparseable — inputs.
+
+use drb_ml::Dataset;
+use llm::{AnalyzedKernel, CodeFeatures, NGRAM_DIM};
+use proptest::prelude::*;
+
+#[test]
+fn cached_artifacts_match_fresh_extraction_for_every_entry() {
+    let ds = Dataset::generate();
+    assert_eq!(ds.entries.len(), 201);
+    for e in &ds.entries {
+        let a = AnalyzedKernel::analyze(&e.trimmed_code);
+        let fresh = CodeFeatures::extract(&e.trimmed_code);
+        assert_eq!(a.features, fresh, "entry {}: cached features drifted", e.id);
+        assert_eq!(a.feature_vec, fresh.to_vector(), "entry {}", e.id);
+        assert_eq!(a.surface_difficulty, fresh.surface_difficulty(), "entry {}", e.id);
+        assert_eq!(a.tokens.len(), llm::count_tokens(&e.trimmed_code), "entry {}", e.id);
+        assert_eq!(a.ngram_vec, llm::ngram_vector(&e.trimmed_code), "entry {}", e.id);
+        assert_eq!(a.full_vec.len(), NGRAM_DIM + CodeFeatures::DIM);
+    }
+}
+
+#[test]
+fn oversized_entries_still_get_equivalent_artifacts() {
+    // The 3 filtered-out kernels never reach the evaluation subset, but
+    // anything analyzing them directly must see the same degradation.
+    let ds = Dataset::generate();
+    let dropped: Vec<_> = ds.entries.iter().filter(|e| !e.fits_prompt_budget()).collect();
+    assert_eq!(dropped.len(), 3);
+    for e in dropped {
+        let a = AnalyzedKernel::analyze(&e.trimmed_code);
+        assert_eq!(a.features, CodeFeatures::extract(&e.trimmed_code), "entry {}", e.id);
+    }
+}
+
+#[test]
+fn subset_views_carry_equivalent_artifacts() {
+    for v in Dataset::generate().subset_views() {
+        let fresh = CodeFeatures::extract(&v.trimmed_code);
+        assert_eq!(v.artifact().features, fresh, "view {}", v.id);
+        // The difficulty baked into the view at build time used the same
+        // surface term a fresh extraction produces.
+        assert_eq!(v.artifact().surface_difficulty, fresh.surface_difficulty(), "view {}", v.id);
+    }
+}
+
+#[test]
+fn view_clones_share_one_artifact_cell() {
+    let views = Dataset::generate().subset_views();
+    let v = &views[0];
+    let clone = v.clone();
+    // Both handles must resolve to the same cached analysis.
+    assert!(std::ptr::eq(v.artifact(), clone.artifact()));
+}
+
+proptest! {
+    /// Arbitrary printable input — almost never valid C — must degrade
+    /// identically through the cached and the fresh path, without
+    /// panicking.
+    #[test]
+    fn analyze_degrades_like_extract_on_arbitrary_input(s in "[ -~\n]{0,120}") {
+        let a = AnalyzedKernel::analyze(&s);
+        prop_assert_eq!(&a.features, &CodeFeatures::extract(&s));
+        prop_assert_eq!(a.tokens.len(), a.features.tokens);
+        prop_assert_eq!(a.ast.is_none(), minic::parse(&s).is_err());
+    }
+}

@@ -50,10 +50,12 @@ pub fn run_detection(
 }
 
 /// The traditional-tool baseline row (Table 3 "Ins"): run the static
-/// detector on every subset entry.
+/// detector on every subset entry, reusing each view's cached AST
+/// (unparseable code still counts as "no race flagged", exactly as the
+/// parse-per-sweep version did).
 pub fn run_baseline(views: &[KernelView]) -> Confusion {
     let preds = par_map(views, default_workers(), |k| {
-        racecheck::check_source(&k.trimmed_code).map(|r| r.has_race()).unwrap_or(false)
+        k.artifact().ast.as_ref().map(|u| racecheck::check(u).has_race()).unwrap_or(false)
     });
     let mut c = Confusion::default();
     for (k, p) in views.iter().zip(preds) {

@@ -4,7 +4,7 @@
 //! * [`metrics`] — confusion matrices and recall/precision/F1 (§3.6),
 //! * [`parse`] — layered LLM-output parsing with regex-style fallbacks
 //!   (§4.5),
-//! * [`par`] — crossbeam-based parallel sweeps,
+//! * [`par`] — scoped-thread parallel sweeps,
 //! * [`detection`] / [`varid`] — the S1 and S2/S3 experiment loops,
 //! * [`tables`] — one runner per paper table (2, 3, 4, 5, 6).
 
@@ -24,7 +24,7 @@ pub use par::{default_workers, par_map};
 pub use parse::{parse_pairs, parse_verdict, ParsedPair, Verdict};
 pub use stats::{compare_classifiers, mcnemar_exact, PairedOutcomes};
 pub use tables::{
-    format_cv_table, format_detection_table, table2, table3, table4, table5, table6, CvRow,
-    DetectionRow,
+    corpus_surrogates, corpus_views, format_cv_table, format_detection_table, table2, table3,
+    table4, table5, table6, CvRow, DetectionRow,
 };
 pub use varid::{match_level, pair_matches, run_varid, run_varid_levels, MatchLevel, VarIdExchange};

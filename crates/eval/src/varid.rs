@@ -182,7 +182,7 @@ mod tests {
     use llm::{ModelKind, PairView};
 
     fn kv(pairs: Vec<PairView>) -> KernelView {
-        KernelView { id: 1, trimmed_code: String::new(), race: true, pairs, difficulty: 0.5 }
+        KernelView::new(1, String::new(), true, pairs, 0.5)
     }
 
     #[test]
@@ -278,13 +278,7 @@ mod level_tests {
             lines: (7, 7),
             ops: ("write".into(), "read".into()),
         };
-        let k = KernelView {
-            id: 1,
-            trimmed_code: String::new(),
-            race: true,
-            pairs: vec![truth],
-            difficulty: 0.5,
-        };
+        let k = KernelView::new(1, String::new(), true, vec![truth], 0.5);
         let wrong_lines = ParsedPair {
             names: vec!["a[i]".into(), "a[i+1]".into()],
             lines: vec![9, 9],

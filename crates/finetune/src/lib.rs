@@ -21,7 +21,7 @@ pub use adam::{Adam, AdamConfig};
 pub use cv::{folds_for, mean, std_dev, stratified_folds, Fold};
 pub use cv::stratified_folds_by;
 pub use model::{fit_base_head, quantize_4bit, sigmoid, LoraHead};
-pub use ngram::{feature_vector, ngram_vector, FEATURE_DIM, NGRAM_DIM};
+pub use ngram::{feature_vector, feature_vector_of, ngram_vector, FEATURE_DIM, NGRAM_DIM};
 pub use train::{FineTuned, Rng, TrainConfig};
 
 use llm::{KernelView, ModelKind, Surrogate, VarIdOutcome};

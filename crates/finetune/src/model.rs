@@ -223,8 +223,8 @@ mod tests {
                 head.sgd_step(x, *y, 0.5, &keep);
             }
         }
-        assert!(head.prob(&vec![1.0, 0.5]) > 0.9);
-        assert!(head.prob(&vec![-1.0, 0.5]) < 0.1);
+        assert!(head.prob(&[1.0, 0.5]) > 0.9);
+        assert!(head.prob(&[-1.0, 0.5]) < 0.1);
     }
 
     #[test]

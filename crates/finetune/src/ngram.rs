@@ -2,50 +2,29 @@
 //!
 //! Fine-tuning sees the code as a language model would: token streams.
 //! Unigrams and bigrams are feature-hashed into a fixed-width vector
-//! (signed hashing to keep collisions unbiased).
+//! (signed hashing to keep collisions unbiased). The hashing itself
+//! lives in [`llm::artifact`] so the once-per-kernel
+//! [`llm::AnalyzedKernel`] can cache the result; this module keeps the
+//! fine-tuning-facing API and the cached accessor.
+
+use llm::KernelView;
 
 /// Width of the hashed n-gram vector.
-pub const NGRAM_DIM: usize = 256;
-
-fn mix(h: u64) -> u64 {
-    let mut x = h;
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+pub use llm::NGRAM_DIM;
 
 /// Hash a code snippet into a normalized n-gram vector.
-pub fn ngram_vector(code: &str) -> Vec<f64> {
-    let toks = llm::tokenize(code);
-    let mut v = vec![0.0f64; NGRAM_DIM];
-    let mut push = |h: u64| {
-        let m = mix(h);
-        let idx = (m % NGRAM_DIM as u64) as usize;
-        let sign = if (m >> 63) & 1 == 0 { 1.0 } else { -1.0 };
-        v[idx] += sign;
-    };
-    for w in toks.windows(2) {
-        push(w[0].id as u64);
-        push(((w[0].id as u64) << 32) | w[1].id as u64);
-    }
-    if let Some(last) = toks.last() {
-        push(last.id as u64);
-    }
-    // L2 normalize so gradient scales are independent of code length.
-    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-    if norm > 0.0 {
-        for x in &mut v {
-            *x /= norm;
-        }
-    }
-    v
-}
+pub use llm::ngram_vector;
 
 /// Full fine-tuning feature vector: hashed n-grams + structural features.
 pub fn feature_vector(code: &str) -> Vec<f64> {
-    let mut v = ngram_vector(code);
-    v.extend(llm::CodeFeatures::extract(code).to_vector());
-    v
+    llm::AnalyzedKernel::analyze(code).full_vec
+}
+
+/// Cached variant of [`feature_vector`]: reads the kernel's shared
+/// analysis artifact instead of re-tokenizing and re-parsing. Equal to
+/// `feature_vector(&k.trimmed_code)` by construction.
+pub fn feature_vector_of(k: &KernelView) -> &[f64] {
+    &k.artifact().full_vec
 }
 
 /// Dimension of [`feature_vector`].
@@ -86,5 +65,12 @@ mod tests {
     fn empty_code_is_zero_ngrams() {
         let v = ngram_vector("");
         assert!(v.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn cached_vector_matches_fresh() {
+        let code = "int a[10]; int main() {\n#pragma omp parallel for\nfor (int i=0;i<9;i++) a[i]=a[i+1];\n return 0; }";
+        let k = KernelView::new(1, code, true, vec![], 0.5);
+        assert_eq!(feature_vector_of(&k), &feature_vector(code)[..]);
     }
 }

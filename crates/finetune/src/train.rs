@@ -1,7 +1,6 @@
 //! Training loop, configuration, and deterministic RNG.
 
 use crate::model::{fit_base_head, LoraHead};
-use crate::ngram::feature_vector;
 use llm::{KernelView, PromptStrategy, Surrogate};
 use serde::{Deserialize, Serialize};
 
@@ -110,7 +109,10 @@ impl FineTuned {
         // 1. Build the frozen base head: fit to the surrogate's own
         //    answers (not the ground truth) — this is the "pre-trained
         //    model" the adapter perturbs.
-        let xs: Vec<Vec<f64>> = train.iter().map(|k| feature_vector(&k.trimmed_code)).collect();
+        // Feature vectors come from each view's shared analysis artifact
+        // (computed once per kernel, not once per fold × epoch).
+        let xs: Vec<Vec<f64>> =
+            train.iter().map(|k| crate::ngram::feature_vector_of(k).to_vec()).collect();
         let base_ys: Vec<f64> = train
             .iter()
             .map(|k| f64::from(surrogate.predict(k, PromptStrategy::P1)))
@@ -146,8 +148,7 @@ impl FineTuned {
     /// Fine-tuned probability that a kernel is racy, blending the base
     /// model's (calibrated) answer with the adapter head.
     pub fn prob(&self, surrogate: &Surrogate, k: &KernelView) -> f64 {
-        let x = feature_vector(&k.trimmed_code);
-        let adapter = self.head.prob(&x);
+        let adapter = self.head.prob(crate::ngram::feature_vector_of(k));
         let base = if surrogate.predict(k, PromptStrategy::P1) { 0.58 } else { 0.42 };
         (1.0 - self.trust) * base + self.trust * adapter
     }
@@ -183,13 +184,7 @@ mod tests {
                         id % 5
                     )
                 };
-                KernelView {
-                    id,
-                    trimmed_code: code,
-                    race: racy,
-                    pairs: vec![],
-                    difficulty: (id % 9) as f64 / 9.0,
-                }
+                KernelView::new(id, code, racy, vec![], (id % 9) as f64 / 9.0)
             })
             .collect()
     }

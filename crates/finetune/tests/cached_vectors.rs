@@ -1,0 +1,17 @@
+//! The fine-tuning loop reads feature vectors from the shared artifact
+//! cache; they must match a from-source computation for every corpus
+//! kernel, or the adapters would silently train on different inputs.
+
+use drb_ml::Dataset;
+
+#[test]
+fn cached_feature_vectors_match_fresh_for_every_subset_view() {
+    for v in Dataset::generate().subset_views() {
+        assert_eq!(
+            finetune::feature_vector_of(&v),
+            &finetune::feature_vector(&v.trimmed_code)[..],
+            "view {}: cached fine-tuning vector drifted",
+            v.id
+        );
+    }
+}

@@ -105,12 +105,12 @@ pub fn analyze(trace: &Trace) -> DynReport {
                 let cell = shadow.entry(*addr).or_default();
                 if site.write {
                     if let Some((e, s, a)) = &cell.last_write {
-                        if !e.covered_by(&vc) && !(*atomic && *a) {
+                        if !(e.covered_by(&vc) || (*atomic && *a)) {
                             push_race(&mut races, &mut seen, s, site);
                         }
                     }
                     for (e, s, a) in &cell.reads {
-                        if !e.covered_by(&vc) && !(*atomic && *a) {
+                        if !(e.covered_by(&vc) || (*atomic && *a)) {
                             push_race(&mut races, &mut seen, s, site);
                         }
                     }
@@ -118,7 +118,7 @@ pub fn analyze(trace: &Trace) -> DynReport {
                     cell.reads.clear();
                 } else {
                     if let Some((e, s, a)) = &cell.last_write {
-                        if !e.covered_by(&vc) && !(*atomic && *a) {
+                        if !(e.covered_by(&vc) || (*atomic && *a)) {
                             push_race(&mut races, &mut seen, s, site);
                         }
                     }

@@ -1331,6 +1331,9 @@ impl<'a> Interp<'a> {
         let simd_only = dir.kind == DirectiveKind::Simd;
         let mut last_owned = false;
         if !levels.is_empty() {
+            // `flat` also drives the index decomposition below, so iterating
+            // over `assignment` instead would not simplify anything.
+            #[allow(clippy::needless_range_loop)]
             for flat in 0..n {
                 // SIMD-only loops run on one thread; all "lanes" belong to
                 // tid 0 in the trace — lane conflicts are surfaced by the
@@ -1397,10 +1400,11 @@ impl<'a> Interp<'a> {
 
         self.pop_scope();
         // Implicit barrier at the end of the worksharing construct.
-        if !dir.has_nowait() && !matches!(dir.kind, DirectiveKind::Simd) {
-            if !dir.kind.creates_parallelism() {
-                self.phase += 1;
-            }
+        if !dir.has_nowait()
+            && !matches!(dir.kind, DirectiveKind::Simd)
+            && !dir.kind.creates_parallelism()
+        {
+            self.phase += 1;
         }
         Ok(flow)
     }

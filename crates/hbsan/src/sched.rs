@@ -19,7 +19,7 @@ impl Rng {
     }
 
     /// Next raw 64-bit value.
-    pub fn next(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -29,7 +29,7 @@ impl Rng {
 
     /// Uniform value in `0..n` (n > 0).
     pub fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
+        (self.next_u64() % n as u64) as usize
     }
 }
 
@@ -80,9 +80,7 @@ impl Scheduler {
                 let mut i = 0;
                 while i < n {
                     let tid = self.rng.below(t);
-                    for j in i..(i + c).min(n) {
-                        out[j] = tid;
-                    }
+                    out[i..(i + c).min(n)].fill(tid);
                     i += c;
                 }
             }

@@ -1,0 +1,153 @@
+//! Once-per-kernel analysis artifacts.
+//!
+//! Every stage of the pipeline used to re-derive the same intermediate
+//! results from `trimmed_code` — the surrogate's answer paths parsed the
+//! kernel again for each explanation, the fine-tuning loop re-tokenized
+//! per fold and epoch, and the baseline re-parsed per sweep. An
+//! [`AnalyzedKernel`] bundles all of it, computed exactly once per
+//! kernel and shared through [`KernelView`](crate::KernelView)'s
+//! `Arc`-held cache: the parsed AST, the token stream, the structural
+//! [`CodeFeatures`], the dense feature vector, and the hashed n-gram
+//! vector the fine-tuning crate consumes.
+//!
+//! Equivalence is by construction: [`AnalyzedKernel::analyze`] feeds the
+//! same token stream and the same parse result into
+//! [`CodeFeatures::from_parts`] that [`CodeFeatures::extract`] uses, so
+//! cached features can never drift from a fresh extraction (the
+//! calibrated operating points — and therefore every table — depend on
+//! that invariant; see DESIGN.md §5).
+
+use crate::features::CodeFeatures;
+use crate::tokenizer::{tokenize, Token};
+
+/// Width of the hashed n-gram vector.
+pub const NGRAM_DIM: usize = 256;
+
+fn mix(h: u64) -> u64 {
+    let mut x = h;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a token stream into a normalized n-gram vector (signed feature
+/// hashing over unigrams and bigrams keeps collisions unbiased).
+pub fn ngram_vector_of(toks: &[Token]) -> Vec<f64> {
+    let mut v = vec![0.0f64; NGRAM_DIM];
+    let mut push = |h: u64| {
+        let m = mix(h);
+        let idx = (m % NGRAM_DIM as u64) as usize;
+        let sign = if (m >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+        v[idx] += sign;
+    };
+    for w in toks.windows(2) {
+        push(w[0].id as u64);
+        push(((w[0].id as u64) << 32) | w[1].id as u64);
+    }
+    if let Some(last) = toks.last() {
+        push(last.id as u64);
+    }
+    // L2 normalize so gradient scales are independent of code length.
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Hash a code snippet into a normalized n-gram vector.
+pub fn ngram_vector(code: &str) -> Vec<f64> {
+    ngram_vector_of(&tokenize(code))
+}
+
+/// Everything the pipeline ever derives from one kernel's trimmed code,
+/// computed once.
+#[derive(Debug)]
+pub struct AnalyzedKernel {
+    /// Parsed AST (`None` when the code does not parse; downstream
+    /// consumers degrade exactly as they did when re-parsing).
+    pub ast: Option<minic::TranslationUnit>,
+    /// The full token stream (its length is the 4k-filter token count).
+    pub tokens: Vec<Token>,
+    /// Structural comprehension features.
+    pub features: CodeFeatures,
+    /// `features.to_vector()`, cached.
+    pub feature_vec: Vec<f64>,
+    /// Hashed n-gram vector over `tokens`.
+    pub ngram_vec: Vec<f64>,
+    /// Fine-tuning input: `ngram_vec` ++ `feature_vec`.
+    pub full_vec: Vec<f64>,
+    /// `features.surface_difficulty()`, cached.
+    pub surface_difficulty: f64,
+}
+
+impl AnalyzedKernel {
+    /// Analyze a kernel: one tokenization, one parse, one feature pass.
+    pub fn analyze(trimmed_code: &str) -> AnalyzedKernel {
+        AnalyzedKernel::from_parsed(trimmed_code, minic::parse(trimmed_code).ok())
+    }
+
+    /// Build the artifact around an already-parsed AST (pass `None` for
+    /// unparseable code). Lets callers that need the parse *error* — the
+    /// end-to-end pipeline — parse once themselves and still share the
+    /// result.
+    pub fn from_parsed(trimmed_code: &str, ast: Option<minic::TranslationUnit>) -> AnalyzedKernel {
+        let tokens = tokenize(trimmed_code);
+        let features = CodeFeatures::from_parts(tokens.len(), ast.as_ref());
+        let feature_vec = features.to_vector();
+        let ngram_vec = ngram_vector_of(&tokens);
+        let mut full_vec = ngram_vec.clone();
+        full_vec.extend_from_slice(&feature_vec);
+        let surface_difficulty = features.surface_difficulty();
+        AnalyzedKernel {
+            ast,
+            tokens,
+            features,
+            feature_vec,
+            ngram_vec,
+            full_vec,
+            surface_difficulty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RACY: &str = "int a[100]; int main() {\n#pragma omp parallel for\nfor (int i=0;i<99;i++) a[i]=a[i+1];\n return 0; }";
+
+    #[test]
+    fn analyze_matches_fresh_extraction() {
+        let a = AnalyzedKernel::analyze(RACY);
+        assert_eq!(a.features, CodeFeatures::extract(RACY));
+        assert_eq!(a.feature_vec, a.features.to_vector());
+        assert_eq!(a.surface_difficulty, a.features.surface_difficulty());
+        assert_eq!(a.tokens.len(), crate::tokenizer::count_tokens(RACY));
+        assert!(a.ast.is_some());
+    }
+
+    #[test]
+    fn full_vec_is_ngrams_then_features() {
+        let a = AnalyzedKernel::analyze(RACY);
+        assert_eq!(a.full_vec.len(), NGRAM_DIM + CodeFeatures::DIM);
+        assert_eq!(a.full_vec[..NGRAM_DIM], a.ngram_vec[..]);
+        assert_eq!(a.full_vec[NGRAM_DIM..], a.feature_vec[..]);
+    }
+
+    #[test]
+    fn unparseable_input_degrades_to_surface_features() {
+        let a = AnalyzedKernel::analyze("this is not C at all {{{");
+        assert!(a.ast.is_none());
+        assert_eq!(a.features, CodeFeatures::extract("this is not C at all {{{"));
+        assert_eq!(a.features.directives, 0);
+        assert!(a.features.tokens > 0);
+    }
+
+    #[test]
+    fn ngram_vector_matches_token_form() {
+        assert_eq!(ngram_vector(RACY), ngram_vector_of(&tokenize(RACY)));
+    }
+}

@@ -81,8 +81,13 @@ pub fn varid_point(model: ModelKind) -> VarIdPoint {
 
 /// Paper reference values used by EXPERIMENTS.md and the tolerance tests.
 pub mod paper {
+    /// A labelled detection row, as in Tables 2 and 5.
+    pub type LabelledRow = (&'static str, u32, u32, u32, u32, f64, f64, f64);
+    /// A (model, prompt)-labelled detection row, as in Table 3.
+    pub type ModelPromptRow = (&'static str, &'static str, u32, u32, u32, u32, f64, f64, f64);
+
     /// Table 3 — (model, prompt, TP, FP, TN, FN, R, P, F1).
-    pub const TABLE3: &[(&str, &str, u32, u32, u32, u32, f64, f64, f64)] = &[
+    pub const TABLE3: &[ModelPromptRow] = &[
         ("Ins", "N/A", 88, 44, 53, 11, 0.889, 0.667, 0.762),
         ("GPT3", "p1", 66, 55, 43, 34, 0.660, 0.545, 0.597),
         ("GPT3", "p2", 63, 56, 42, 37, 0.630, 0.529, 0.575),
@@ -99,13 +104,13 @@ pub mod paper {
     ];
 
     /// Table 2 — GPT-3.5 with BP1/BP2.
-    pub const TABLE2: &[(&str, u32, u32, u32, u32, f64, f64, f64)] = &[
+    pub const TABLE2: &[LabelledRow] = &[
         ("BP1", 66, 55, 43, 34, 0.660, 0.545, 0.597),
         ("BP2", 35, 26, 72, 65, 0.350, 0.574, 0.435),
     ];
 
     /// Table 5 — variable identification.
-    pub const TABLE5: &[(&str, u32, u32, u32, u32, f64, f64, f64)] = &[
+    pub const TABLE5: &[LabelledRow] = &[
         ("GPT3", 12, 54, 44, 88, 0.120, 0.182, 0.145),
         ("GPT4", 14, 31, 67, 86, 0.140, 0.311, 0.193),
         ("SC", 7, 66, 32, 93, 0.070, 0.096, 0.081),

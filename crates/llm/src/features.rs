@@ -68,17 +68,24 @@ impl CodeFeatures {
     /// Extract features from trimmed source. Unparseable code yields
     /// surface-only features.
     pub fn extract(trimmed_code: &str) -> CodeFeatures {
-        let mut f = CodeFeatures {
-            tokens: crate::tokenizer::count_tokens(trimmed_code),
-            ..CodeFeatures::default()
-        };
-        let Ok(unit) = minic::parse(trimmed_code) else {
+        let tokens = crate::tokenizer::count_tokens(trimmed_code);
+        CodeFeatures::from_parts(tokens, minic::parse(trimmed_code).ok().as_ref())
+    }
+
+    /// Extract features from pre-computed parts: the token count and the
+    /// parse result (`None` for unparseable code). This is the single
+    /// implementation behind both [`CodeFeatures::extract`] and the
+    /// cached [`AnalyzedKernel`](crate::artifact::AnalyzedKernel), so
+    /// cached features are equal to a fresh extraction by construction.
+    pub fn from_parts(tokens: usize, unit: Option<&minic::TranslationUnit>) -> CodeFeatures {
+        let mut f = CodeFeatures { tokens, ..CodeFeatures::default() };
+        let Some(unit) = unit else {
             return f;
         };
         // Pointer-typed variables being assigned is the aliasing smell.
-        f.pointer_assignment = has_pointer_assignment(&unit);
+        f.pointer_assignment = has_pointer_assignment(unit);
 
-        let dirs = collect_directives(&unit);
+        let dirs = collect_directives(unit);
         f.directives = dirs.len();
         for d in dirs {
             match &d.kind {
@@ -118,12 +125,12 @@ impl CodeFeatures {
         }
 
         // Access shapes + helper calls.
+        let src_text = minic::printer::print_unit(unit);
+        if src_text.contains("omp_set_lock") {
+            f.has_locks = true;
+        }
         for item in &unit.items {
             let Item::Func(func) = item else { continue };
-            let src_text = minic::printer::print_unit(&unit);
-            if src_text.contains("omp_set_lock") {
-                f.has_locks = true;
-            }
             for a in accesses_of_block(&func.body) {
                 if a.is_array() {
                     if a.has_opaque_subscript() {
@@ -374,14 +381,10 @@ fn scan_parallel(stmts: &[Stmt], f: &mut CodeFeatures, in_parallel: bool) {
             Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
                 scan_parallel(std::slice::from_ref(body.as_ref()), f, in_parallel)
             }
-            Stmt::Expr(e) => {
-                if in_parallel {
-                    if let minic::ast::Expr::Call { callee, .. } = e {
-                        if !callee.starts_with("omp_") && callee != "printf" {
-                            f.has_helper_call = true;
-                        }
-                    }
-                }
+            Stmt::Expr(minic::ast::Expr::Call { callee, .. })
+                if in_parallel && !callee.starts_with("omp_") && callee != "printf" =>
+            {
+                f.has_helper_call = true;
             }
             _ => {}
         }

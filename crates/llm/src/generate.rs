@@ -7,10 +7,12 @@
 //! `format_adherence` profiles produce prose and malformed JSON on
 //! purpose.
 
+use crate::artifact::AnalyzedKernel;
 use crate::decide::{jitter, DetectionDecider, KernelInfo, VarIdDecider, VarIdOutcome};
 use crate::profile::{ModelKind, ModelProfile, PromptStrategy};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Ground-truth pair view (supplied by the dataset layer).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,7 +26,7 @@ pub struct PairView {
 }
 
 /// Everything the surrogate sees about one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelView {
     /// Stable id.
     pub id: u32,
@@ -37,9 +39,72 @@ pub struct KernelView {
     pub pairs: Vec<PairView>,
     /// Combined difficulty in [0, 1].
     pub difficulty: f64,
+    // Lazily-computed shared analysis artifact. Clones share the cell,
+    // so per-fold copies of a view reuse one analysis. Not serialized:
+    // it is derivable from `trimmed_code` and re-fills on first use.
+    #[serde(skip)]
+    artifact: Arc<OnceLock<AnalyzedKernel>>,
+}
+
+impl PartialEq for KernelView {
+    // The artifact cache is identity-irrelevant: two views are the same
+    // view iff their observable fields agree.
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.trimmed_code == other.trimmed_code
+            && self.race == other.race
+            && self.pairs == other.pairs
+            && self.difficulty == other.difficulty
+    }
 }
 
 impl KernelView {
+    /// Build a view with an empty (lazily filled) artifact cache.
+    pub fn new(
+        id: u32,
+        trimmed_code: impl Into<String>,
+        race: bool,
+        pairs: Vec<PairView>,
+        difficulty: f64,
+    ) -> KernelView {
+        KernelView {
+            id,
+            trimmed_code: trimmed_code.into(),
+            race,
+            pairs,
+            difficulty,
+            artifact: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Build a view around an already-computed artifact (the dataset
+    /// layer analyzes every kernel up front, in parallel).
+    pub fn with_artifact(
+        id: u32,
+        trimmed_code: impl Into<String>,
+        race: bool,
+        pairs: Vec<PairView>,
+        difficulty: f64,
+        artifact: AnalyzedKernel,
+    ) -> KernelView {
+        let cell = OnceLock::new();
+        let _ = cell.set(artifact);
+        KernelView {
+            id,
+            trimmed_code: trimmed_code.into(),
+            race,
+            pairs,
+            difficulty,
+            artifact: Arc::new(cell),
+        }
+    }
+
+    /// The kernel's analysis artifact, computed on first use and shared
+    /// by every clone of this view.
+    pub fn artifact(&self) -> &AnalyzedKernel {
+        self.artifact.get_or_init(|| AnalyzedKernel::analyze(&self.trimmed_code))
+    }
+
     fn info(&self) -> KernelInfo {
         KernelInfo { id: self.id, race: self.race, difficulty: self.difficulty }
     }
@@ -123,7 +188,7 @@ impl Surrogate {
 
     /// Intermediate p3 turn: a dependence-analysis narrative.
     pub fn answer_dependence_analysis(&self, k: &KernelView) -> String {
-        let f = crate::features::CodeFeatures::extract(&k.trimmed_code);
+        let f = &k.artifact().features;
         let mut out = String::from("Data dependence analysis: ");
         if f.carried_certain {
             out.push_str(
@@ -141,7 +206,7 @@ impl Surrogate {
     }
 
     fn explanation(&self, k: &KernelView, says_race: bool, strategy: PromptStrategy) -> String {
-        let f = crate::features::CodeFeatures::extract(&k.trimmed_code);
+        let f = &k.artifact().features;
         if says_race {
             let cause = if f.has_offset_subscript {
                 "Neighbouring array elements are read while other iterations write them"
@@ -265,7 +330,7 @@ impl Surrogate {
     }
 
     fn some_identifier(&self, k: &KernelView) -> Option<String> {
-        let toks = crate::tokenizer::tokenize(&k.trimmed_code);
+        let toks = &k.artifact().tokens;
         let j = jitter(self.kind(), 239, k.id);
         let idents: Vec<&str> = toks
             .iter()
@@ -364,23 +429,25 @@ mod tests {
 
     fn corpus() -> Vec<KernelView> {
         (1..=40u32)
-            .map(|id| KernelView {
-                id,
-                trimmed_code: format!(
-                    "int a[100];\nint main(void)\n{{\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 99; i++)\n    a[i] = a[i + {}];\n  return 0;\n}}\n",
-                    id % 3 + 1
-                ),
-                race: id % 2 == 0,
-                pairs: if id % 2 == 0 {
-                    vec![PairView {
-                        names: ("a[i + 1]".into(), "a[i]".into()),
-                        lines: (7, 7),
-                        ops: ("read".into(), "write".into()),
-                    }]
-                } else {
-                    vec![]
-                },
-                difficulty: (id % 7) as f64 / 7.0,
+            .map(|id| {
+                KernelView::new(
+                    id,
+                    format!(
+                        "int a[100];\nint main(void)\n{{\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 99; i++)\n    a[i] = a[i + {}];\n  return 0;\n}}\n",
+                        id % 3 + 1
+                    ),
+                    id % 2 == 0,
+                    if id % 2 == 0 {
+                        vec![PairView {
+                            names: ("a[i + 1]".into(), "a[i]".into()),
+                            lines: (7, 7),
+                            ops: ("read".into(), "write".into()),
+                        }]
+                    } else {
+                        vec![]
+                    },
+                    (id % 7) as f64 / 7.0,
+                )
             })
             .collect()
     }
@@ -462,13 +529,7 @@ mod context_tests {
 
     #[test]
     fn over_budget_prompts_are_refused() {
-        let ks = vec![KernelView {
-            id: 1,
-            trimmed_code: "int main(void) { return 0; }".into(),
-            race: false,
-            pairs: vec![],
-            difficulty: 0.5,
-        }];
+        let ks = vec![KernelView::new(1, "int main(void) { return 0; }", false, vec![], 0.5)];
         let s = Surrogate::new(ModelKind::Llama2_7b, &ks); // 4k window
         let mut chat = ChatSession::new(&s, &ks[0], PromptStrategy::P1);
         let huge = "int x; ".repeat(4000); // ≫ 4096 tokens

@@ -7,13 +7,16 @@
 //! ([`features`]), a decision layer pinned to the paper's published
 //! confusion matrices ([`calibration`], [`decide`]), and a response
 //! generator that produces the free-text / JSON answers the evaluation
-//! pipeline must parse ([`generate`]). Every other stage of the paper's
+//! pipeline must parse ([`generate`]). Per-kernel intermediates (AST,
+//! tokens, features, fine-tuning vectors) are computed once and shared
+//! through [`artifact`]. Every other stage of the paper's
 //! pipeline — prompts, datasets, parsing, metrics, fine-tuning — runs
 //! against these surrogates unchanged. See DESIGN.md §2 and §5 for the
 //! substitution argument.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod calibration;
 pub mod decide;
 pub mod features;
@@ -22,6 +25,7 @@ pub mod modalities;
 pub mod profile;
 pub mod tokenizer;
 
+pub use artifact::{ngram_vector, ngram_vector_of, AnalyzedKernel, NGRAM_DIM};
 pub use calibration::{detection_point, varid_point, OperatingPoint, VarIdPoint};
 pub use decide::{DetectionDecider, KernelInfo, VarIdDecider, VarIdOutcome};
 pub use features::CodeFeatures;

@@ -122,7 +122,7 @@ impl<'a> Lexer<'a> {
         };
 
         // Preprocessor / pragma lines.
-        if b == b'#' && self.col == 1 || (b == b'#' && self.line_is_blank_before()) {
+        if b == b'#' && (self.col == 1 || self.line_is_blank_before()) {
             return self.lex_pp_line(start_off, start_pos);
         }
         if b == b'#' {

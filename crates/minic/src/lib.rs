@@ -43,6 +43,8 @@ pub mod visit;
 pub use ast::TranslationUnit;
 pub use error::{ParseError, Result};
 pub use parser::parse;
+#[cfg(feature = "count-parses")]
+pub use parser::{parse_count, reset_parse_count};
 pub use printer::print_unit;
 pub use span::{Pos, Span};
 pub use trim::{trim_comments, Trimmed};

@@ -7,8 +7,28 @@ use crate::pragma::*;
 use crate::span::Span;
 use crate::token::{Keyword, Punct, TokKind, Token};
 
+/// Number of `parse` calls so far in this process (testing hook for the
+/// once-per-kernel artifact cache).
+#[cfg(feature = "count-parses")]
+pub fn parse_count() -> u64 {
+    counter::PARSE_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Reset the `parse` call counter.
+#[cfg(feature = "count-parses")]
+pub fn reset_parse_count() {
+    counter::PARSE_COUNT.store(0, std::sync::atomic::Ordering::Relaxed);
+}
+
+#[cfg(feature = "count-parses")]
+mod counter {
+    pub static PARSE_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+}
+
 /// Parse a complete source file.
 pub fn parse(src: &str) -> Result<TranslationUnit> {
+    #[cfg(feature = "count-parses")]
+    counter::PARSE_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let toks = Lexer::tokenize(src)?;
     Parser::new(toks).parse_unit()
 }
@@ -276,7 +296,8 @@ impl Parser {
                 // Named opaque types used by the corpus (locks, size_t).
                 TokKind::Ident(s) if base.is_none() && (s == "omp_lock_t" || s == "size_t" || s == "uintptr_t") =>
                 {
-                    base = Some(if s == "omp_lock_t" { BaseType::Long } else { BaseType::Long });
+                    // All three opaque types lower to a word-sized integer.
+                    base = Some(BaseType::Long);
                     self.bump();
                 }
                 _ => break,

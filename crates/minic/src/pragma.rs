@@ -206,6 +206,8 @@ impl ReductionOp {
     }
 
     /// Parse an OpenMP reduction-operator spelling.
+    // Option-returning lookup, deliberately not the fallible FromStr.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Self> {
         Some(match s {
             "+" => ReductionOp::Add,

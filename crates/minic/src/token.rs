@@ -86,6 +86,8 @@ pub enum Keyword {
 
 impl Keyword {
     /// Look up a keyword from identifier text.
+    // Option-returning lookup, deliberately not the fallible FromStr.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

@@ -596,7 +596,7 @@ impl RaceReport {
                     let _ = writeln!(out, "   |");
                     let _ = writeln!(out, "{line:3}| {text}");
                     let caret_pad = " ".repeat(col.saturating_sub(1));
-                    let carets = "^".repeat(a.text.len().max(1).min(40));
+                    let carets = "^".repeat(a.text.len().clamp(1, 40));
                     let _ = writeln!(
                         out,
                         "   | {caret_pad}{carets} {} of `{}`",

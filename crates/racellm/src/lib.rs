@@ -69,10 +69,13 @@ impl Default for Pipeline {
 
 impl Pipeline {
     /// Build the pipeline: generate the corpus, derive DRB-ML, calibrate
-    /// the four surrogates.
+    /// the four surrogates. Views and surrogates come from the shared
+    /// process-wide caches (`eval::corpus_views` / `corpus_surrogates`),
+    /// so building a second pipeline — or running the table runners
+    /// alongside one — re-analyzes nothing.
     pub fn new() -> Pipeline {
-        let views = drb_ml::Dataset::generate().subset_views();
-        let surrogates = eval::surrogates(&views);
+        let views = eval::corpus_views().to_vec();
+        let surrogates = eval::corpus_surrogates().to_vec();
         Pipeline { views, surrogates }
     }
 
@@ -93,14 +96,16 @@ impl Pipeline {
     /// layer degrades to without a calibration entry).
     pub fn analyze(&self, source: &str) -> minic::Result<AnalysisReport> {
         let trimmed = minic::trim_comments(source);
+        // Parse once; every downstream consumer (static, dynamic, LLM
+        // features, token count) shares this artifact.
         let unit = minic::parse(&trimmed.code)?;
 
         let st = racecheck::check(&unit);
         let dy = hbsan::check_adversarial(&unit, &hbsan::Config::default(), &[1, 7, 23])
-            .map(|r| r)
             .unwrap_or_default();
 
-        let features = llm::CodeFeatures::extract(&trimmed.code);
+        let artifact = llm::AnalyzedKernel::from_parsed(&trimmed.code, Some(unit));
+        let features = &artifact.features;
         let mut llm_answers = Vec::new();
         for (kind, _s) in &self.surrogates {
             let depth = llm::ModelProfile::of(*kind).depth;
@@ -124,7 +129,7 @@ impl Pipeline {
             dynamic_verdict: dy.has_race(),
             dynamic_races: dy.races.iter().map(hbsan::DynRace::describe).collect(),
             llm_answers,
-            tokens: llm::count_tokens(&trimmed.code),
+            tokens: artifact.tokens.len(),
         })
     }
 

@@ -1,0 +1,150 @@
+//! Vendored stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the API subset this workspace uses (`benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`).
+//!
+//! Each benchmark runs one warmup iteration, then samples the closure
+//! until either `sample_size` samples are collected or a time budget is
+//! exhausted, and reports min/mean wall-clock time per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget: stop sampling past this point.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { _parent: self, sample_size: 10 }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut routine);
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.0, &mut |b| routine(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { samples: Vec::new(), target: self.sample_size };
+        let start = Instant::now();
+        while b.samples.len() < b.target && start.elapsed() < TIME_BUDGET {
+            routine(&mut b);
+            if b.samples.is_empty() {
+                // The routine never called `iter`; nothing to measure.
+                break;
+            }
+        }
+        if b.samples.is_empty() {
+            println!("  {label}: no measurement");
+            return;
+        }
+        let min = b.samples.iter().copied().min().unwrap_or_default();
+        let sum: Duration = b.samples.iter().copied().sum();
+        let mean = sum / b.samples.len() as u32;
+        println!(
+            "  {label}: min {:?}, mean {:?} ({} samples)",
+            min,
+            mean,
+            b.samples.len()
+        );
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Finish the group (printing happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Handle passed to benchmark routines.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Time one execution of `f` per call (the harness decides how many
+    /// samples to collect).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup once per routine invocation if this is the first sample.
+        if self.samples.is_empty() {
+            black_box(f());
+        }
+        let t = Instant::now();
+        black_box(f());
+        self.samples.push(t.elapsed());
+        let _ = self.target;
+    }
+}
+
+/// Benchmark identifier: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

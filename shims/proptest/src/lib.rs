@@ -1,0 +1,701 @@
+//! Vendored stand-in for `proptest`: deterministic random property
+//! testing with the subset of the API this workspace uses.
+//!
+//! Differences from upstream: no shrinking (failures report the raw
+//! case), and the RNG is seeded from the test's module path so runs
+//! are fully deterministic. Strategies supported: ranges, `Just`,
+//! `any::<T>()`, tuples, `prop_map`, `prop_oneof!`, `prop_recursive`,
+//! `proptest::collection::vec`, and regex-subset string patterns
+//! (literal prefix, character classes, `{m,n}` repetition, `\PC`).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped, not failed.
+    Reject,
+    /// `prop_assert!`-family failure with a message.
+    Fail(String),
+}
+
+/// Deterministic SplitMix64 RNG.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seed from a test name (FNV-1a of the string).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Rng(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a reference-counted strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build a recursive strategy: `self` is the leaf, `recurse` wraps
+    /// an inner strategy into a larger one, applied up to `depth`
+    /// levels. (`desired_size`/`expected_branch` accepted for API
+    /// compatibility; sizing is controlled by the wrapped strategies.)
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth.min(4) {
+            cur = recurse(cur.clone()).boxed();
+        }
+        cur
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one strategy");
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for a primitive (used by [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_impl {
+    ($($t:ty => $gen:expr;)*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let f: fn(&mut Rng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_impl! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut Rng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    /// Conversion into [`SizeRange`].
+    pub trait IntoSizeRange {
+        /// Convert.
+        fn into_size_range(self) -> SizeRange;
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> SizeRange {
+            assert!(self.start < self.end, "empty size range");
+            SizeRange { lo: self.start, hi_inclusive: self.end - 1 }
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_size_range(self) -> SizeRange {
+            SizeRange { lo: *self.start(), hi_inclusive: *self.end() }
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> SizeRange {
+            SizeRange { lo: self, hi_inclusive: self }
+        }
+    }
+
+    /// `Vec` strategy with element strategy and size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate a `Vec` whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into_size_range() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- regex-subset string strategies ----
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Inclusive character ranges.
+    Class(Vec<(char, char)>),
+}
+
+fn printable_class() -> Vec<(char, char)> {
+    // `\PC`: "not a control character". Printable ASCII is a faithful,
+    // deterministic subset.
+    vec![(' ', '~')]
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, (usize, usize))> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        match chars.get(i) {
+                            Some('n') => '\n',
+                            Some('t') => '\t',
+                            Some('r') => '\r',
+                            Some(&c) => c,
+                            None => break,
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    // Range form `a-z` (a `-` not at the edges).
+                    if c == '-' {
+                        if let (Some(lo), Some(&hi)) = (pending, chars.get(i)) {
+                            if hi != ']' {
+                                let hi = if hi == '\\' {
+                                    i += 1;
+                                    match chars.get(i) {
+                                        Some('n') => '\n',
+                                        Some('t') => '\t',
+                                        Some(&c2) => c2,
+                                        None => hi,
+                                    }
+                                } else {
+                                    hi
+                                };
+                                i += 1;
+                                ranges.push((lo, hi));
+                                pending = None;
+                                continue;
+                            }
+                        }
+                    }
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(c);
+                }
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                i += 1; // past ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // `\PC` — complement of a unicode category; only
+                        // `C` (control) is used.
+                        i += 2;
+                        Atom::Class(printable_class())
+                    }
+                    Some('n') => {
+                        i += 1;
+                        Atom::Lit('\n')
+                    }
+                    Some('t') => {
+                        i += 1;
+                        Atom::Lit('\t')
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Lit(c)
+                    }
+                    None => break,
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        // Optional `{m,n}` / `{n}` quantifier.
+        let mut bounds = (1usize, 1usize);
+        if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}');
+            if let Some(off) = close {
+                let body: String = chars[i + 1..i + off].iter().collect();
+                let parts: Vec<&str> = body.split(',').collect();
+                let parsed = match parts.as_slice() {
+                    [n] => n.trim().parse::<usize>().ok().map(|v| (v, v)),
+                    [m, n] => m
+                        .trim()
+                        .parse::<usize>()
+                        .ok()
+                        .zip(n.trim().parse::<usize>().ok()),
+                    _ => None,
+                };
+                if let Some(b) = parsed {
+                    bounds = b;
+                    i += off + 1;
+                }
+            }
+        }
+        out.push((atom, bounds));
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, (lo, hi)) in &atoms {
+            let n = if lo == hi {
+                *lo
+            } else {
+                lo + rng.below((hi - lo + 1) as u64) as usize
+            };
+            for _ in 0..n {
+                match atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        if ranges.is_empty() {
+                            continue;
+                        }
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(a, b)| u64::from(*b as u32) - u64::from(*a as u32) + 1)
+                            .sum();
+                        let mut k = rng.below(total);
+                        for (a, b) in ranges {
+                            let w = u64::from(*b as u32) - u64::from(*a as u32) + 1;
+                            if k < w {
+                                out.push(char::from_u32(*a as u32 + k as u32).unwrap_or(*a));
+                                break;
+                            }
+                            k -= w;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Rng, Strategy, TestCaseError,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---- macros ----
+
+/// Define property tests. Each case draws from its strategies with a
+/// deterministic RNG; `prop_assume!` rejections skip the case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::Rng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    ($($crate::Strategy::generate(&($strat), &mut __rng),)+);
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case {}: {}",
+                            stringify!($name), __case, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_inner! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __a, __b
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a), stringify!($b), __a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Skip the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_generates_within_class() {
+        let mut rng = Rng::from_name("pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9 =;+]{1,40}", &mut rng);
+            assert!((1..=40).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " =;+".contains(c)));
+        }
+    }
+
+    #[test]
+    fn pattern_literal_prefix() {
+        let mut rng = Rng::from_name("prefix");
+        let s = Strategy::generate(&"pragma omp [a-z ()+:,0-9]{0,80}", &mut rng);
+        assert!(s.starts_with("pragma omp "), "{s:?}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng::from_name("ranges");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(-10i64..10), &mut rng);
+            assert!((-10..10).contains(&v));
+            let u = Strategy::generate(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = Rng::from_name("vecs");
+        for _ in 0..100 {
+            let v = Strategy::generate(&collection::vec(0u32..5, 2..8), &mut rng);
+            assert!((2..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn self_test_macro(x in 0u32..100, flip in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x as u64 + u64::from(flip), x as u64 + u64::from(flip));
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the in-tree
+//! serde stand-in. No `syn`/`quote` — the container is parsed directly
+//! from the raw `TokenStream` and the impl is emitted as a string.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields,
+//! * tuple/newtype structs,
+//! * enums with unit, tuple, and struct variants (externally tagged),
+//! * field attributes `#[serde(rename = "…")]`, `#[serde(default)]`,
+//!   `#[serde(skip)]`, and `#[serde(skip, default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+    default_path: Option<String>,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    body: Body,
+}
+
+/// Derive the stand-in `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the stand-in `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Container) -> String) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen(&c).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ----
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes, doc comments, and visibility before the keyword.
+    let mut kw = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' + [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kw = Some(s);
+                    i += 1;
+                    break;
+                }
+                i += 1; // pub, etc.
+            }
+            _ => i += 1, // pub(crate) group and similar
+        }
+    }
+    let kw = kw.ok_or_else(|| "expected struct or enum".to_string())?;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected container name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim: generics not supported on `{name}`"));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kw == "struct" {
+                Body::NamedStruct(parse_named_fields(&inner)?)
+            } else {
+                Body::Enum(parse_variants(&inner)?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kw == "enum" {
+                return Err("serde shim: unexpected parens after enum name".into());
+            }
+            Body::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        _ => return Err(format!("serde shim: unsupported body for `{name}`")),
+    };
+    Ok(Container { name, body })
+}
+
+/// Count comma-separated items at the top level of a group stream.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut any = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => any = true,
+            },
+            _ => any = true,
+        }
+    }
+    if any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Parse one `#[serde(...)]` attribute group into `attrs`.
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) -> Result<(), String> {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Expect: serde ( ... )
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < toks.len() {
+                let key = match &toks[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    TokenTree::Punct(p) if p.as_char() == ',' => {
+                        j += 1;
+                        continue;
+                    }
+                    other => return Err(format!("serde shim: unexpected token {other} in attr")),
+                };
+                j += 1;
+                let value = match toks.get(j) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        j += 1;
+                        let lit = match toks.get(j) {
+                            Some(TokenTree::Literal(l)) => unquote(&l.to_string())?,
+                            other => {
+                                return Err(format!(
+                                    "serde shim: expected string after `{key} =`, got {other:?}"
+                                ))
+                            }
+                        };
+                        j += 1;
+                        Some(lit)
+                    }
+                    _ => None,
+                };
+                match (key.as_str(), value) {
+                    ("rename", Some(v)) => attrs.rename = Some(v),
+                    ("default", Some(path)) => {
+                        attrs.default = true;
+                        attrs.default_path = Some(path);
+                    }
+                    ("default", None) => attrs.default = true,
+                    ("skip", None) => attrs.skip = true,
+                    ("skip_serializing", None) | ("skip_deserializing", None) => attrs.skip = true,
+                    (k, _) => return Err(format!("serde shim: unsupported attribute `{k}`")),
+                }
+            }
+            Ok(())
+        }
+        // Not a serde attribute (doc comment, derive, etc.) — ignore.
+        _ => Ok(()),
+    }
+}
+
+fn unquote(lit: &str) -> Result<String, String> {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Ok(s[1..s.len() - 1].to_string())
+    } else {
+        Err(format!("serde shim: expected string literal, got {lit}"))
+    }
+}
+
+/// Parse named fields from the token list inside a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                parse_serde_attr(g, &mut attrs)?;
+            }
+            i += 2;
+        }
+        // Visibility.
+        while let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde shim: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde shim: expected `:` after `{name}`, got {other:?}")),
+        }
+        // Skip the type: everything until a top-level comma.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+/// Parse enum variants from the token list inside a brace group.
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments etc. — serde variant attrs unsupported).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde shim: expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Struct(parse_named_fields(&inner)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the next top-level comma (covers `= discr`, which we
+        // don't support but also never see with payloads).
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- code generation ----
+
+fn key_of(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+fn gen_struct_to_value(fields: &[Field], access_prefix: &str) -> String {
+    let mut s = String::from(
+        "{ let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let key = key_of(f);
+        s.push_str(&format!(
+            "__obj.push(({key:?}.to_string(), ::serde::Serialize::to_value({access_prefix}{})));\n",
+            f.name
+        ));
+    }
+    s.push_str("::serde::Value::Object(__obj) }");
+    s
+}
+
+fn gen_struct_from_obj(ty_path: &str, fields: &[Field]) -> String {
+    let mut s = format!("{ty_path} {{\n");
+    for f in fields {
+        let key = key_of(f);
+        if f.attrs.skip {
+            if let Some(path) = &f.attrs.default_path {
+                s.push_str(&format!("{}: {path}(),\n", f.name));
+            } else {
+                s.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+            }
+        } else if f.attrs.default {
+            if let Some(path) = &f.attrs.default_path {
+                s.push_str(&format!(
+                    "{}: match __obj.iter().find(|(k, _)| k == {key:?}) {{ \
+                     ::std::option::Option::Some((_, v)) => ::serde::Deserialize::from_value(v)?, \
+                     ::std::option::Option::None => {path}() }},\n",
+                    f.name
+                ));
+            } else {
+                s.push_str(&format!("{}: ::serde::field_or_default(__obj, {key:?})?,\n", f.name));
+            }
+        } else {
+            s.push_str(&format!("{}: ::serde::field(__obj, {key:?})?,\n", f.name));
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::NamedStruct(fields) => gen_struct_to_value(fields, "&self."),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => \
+                         ::serde::variant({vname:?}, ::serde::Serialize::to_value(__f0)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::variant({vname:?}, \
+                             ::serde::Value::Array(::std::vec![{}])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.attrs.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let obj = gen_struct_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::variant({vname:?}, {obj}),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::NamedStruct(fields) => {
+            let build = gen_struct_from_obj(name, fields);
+            format!(
+                "let __obj = __v.as_object()\
+                 .ok_or_else(|| ::serde::Error::expected(\"object\", __v))?;\n\
+                 ::std::result::Result::Ok({build})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array()\
+                 .ok_or_else(|| ::serde::Error::expected(\"array\", __v))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"wrong tuple length\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => {{ let __a = __payload.as_array()\
+                             .ok_or_else(|| ::serde::Error::expected(\"array\", __payload))?;\n\
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(\"wrong variant arity\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({})) }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let build = gen_struct_from_obj(&format!("{name}::{vname}"), fields);
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => {{ let __obj = __payload.as_object()\
+                             .ok_or_else(|| ::serde::Error::expected(\"object\", __payload))?;\n\
+                             ::std::result::Result::Ok({build}) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__o[0];\n\
+                 match __tag.as_str() {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"enum representation\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,456 @@
+//! Vendored stand-in for `serde_json`: a strict, RFC 8259 JSON reader
+//! and writer over the in-tree serde [`Value`] model.
+//!
+//! Strictness matters here: `eval::parse` deliberately feeds malformed
+//! JSON (unquoted keys, trailing commas, single quotes) through
+//! [`from_str`] and relies on it *failing* so the lenient fallback
+//! scanner takes over. Do not make this parser forgiving.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// JSON error (parse or data-model mismatch).
+pub type Error = serde::Error;
+
+/// `Result` alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Deserialize a value from a JSON string. Strict: rejects trailing
+/// commas, unquoted keys, single-quoted strings, and trailing garbage.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_str(s)?;
+    T::from_value(&value)
+}
+
+/// Construct a [`Value`] from JSON-like syntax. Object/array literals
+/// may embed any `Serialize` expression as a value.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $(($key.to_string(), $crate::to_value(&$val))),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![$($crate::to_value(&$item)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---- writer ----
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Shortest round-trip repr; ensure a decimal point so the
+                // value re-parses as a float.
+                let s = format!("{x}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(o) => {
+            if o.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * level));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- strict parser ----
+
+fn parse_value_str(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { s, bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    s: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::msg(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::msg("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Value) -> Result<Value> {
+        if self.s[self.pos..].starts_with(kw) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::msg("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::msg("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.s[self.pos..].starts_with("\\u") {
+                                    return Err(Error::msg("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::msg("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::msg("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::msg(format!("invalid escape at byte {}", self.pos))),
+                    }
+                }
+                c if c < 0x20 => {
+                    return Err(Error::msg(format!(
+                        "control character in string at byte {}",
+                        self.pos
+                    )))
+                }
+                _ => {
+                    // Consume one full UTF-8 character.
+                    let ch_len = self.s[self.pos..]
+                        .chars()
+                        .next()
+                        .map(char::len_utf8)
+                        .unwrap_or(1);
+                    out.push_str(&self.s[self.pos..self.pos + ch_len]);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::msg("truncated unicode escape"));
+        }
+        let hex = &self.s[self.pos..self.pos + 4];
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::msg(format!("invalid unicode escape `{hex}`")))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: no leading zeros (strict JSON).
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(Error::msg(format!("invalid number at byte {start}"))),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(Error::msg(format!("invalid number at byte {start}")));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(Error::msg(format!("invalid number at byte {start}")));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.s[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Very large integers degrade to float, like serde_json
+                // with arbitrary_precision off.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| Error::msg(format!("invalid number `{text}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_object() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(3)),
+            ("b".into(), Value::Str("x\n\"y\"".into())),
+            ("c".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            ("d".into(), Value::Float(1.5)),
+        ]);
+        let compact: String = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Value>(&compact).unwrap(), v);
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn strictness_rejects_lenient_json() {
+        assert!(from_str::<Value>("{a: 1}").is_err(), "unquoted key");
+        assert!(from_str::<Value>("[1, 2,]").is_err(), "trailing comma");
+        assert!(from_str::<Value>("{'a': 1}").is_err(), "single quotes");
+        assert!(from_str::<Value>("{\"a\": 1} x").is_err(), "trailing garbage");
+        assert!(from_str::<Value>("{\"a\": 01}").is_err(), "leading zero");
+    }
+
+    #[test]
+    fn float_round_trip_keeps_type() {
+        let v = Value::Float(2.0);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "2.0");
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            "é😀"
+        );
+    }
+}
