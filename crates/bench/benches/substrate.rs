@@ -150,5 +150,83 @@ fn bench_artifact_cache(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_frontend, bench_analyses, bench_corpus_scale, bench_artifact_cache);
+fn bench_dynamic_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_oracle");
+    g.sample_size(10);
+
+    // Per-kernel analysis cost: the reference analyzer walks boxed
+    // `Event`s with a full vector clock per access (the pre-interning
+    // representation and algorithm), the epoch path walks the flat
+    // interned trace with FastTrack shadow cells.
+    for (name, src) in kernels() {
+        let unit = minic::parse(&src).unwrap();
+        let out = hbsan::run(&unit, &hbsan::Config::default()).unwrap();
+        g.bench_with_input(BenchmarkId::new("analyze_reference", name), &out.trace, |b, t| {
+            b.iter(|| black_box(hbsan::analyze_reference(t)))
+        });
+        g.bench_with_input(BenchmarkId::new("analyze_epoch", name), &out.trace, |b, t| {
+            b.iter(|| black_box(hbsan::analyze(t)))
+        });
+    }
+
+    // Full-corpus adversarial sweep (3 schedule seeds per kernel).
+    // `pre_pr_serial` models the old oracle: every seed re-executed and
+    // analyzed with the full-VC event-list path, no seed-insensitivity
+    // short-circuit. The epoch rows use the shipping `check_adversarial`
+    // machinery at 1 worker and at the RACELLM_WORKERS default.
+    let seeds = [1u64, 7, 23];
+    let units: Vec<(&str, minic::TranslationUnit)> = drb_gen::corpus()
+        .iter()
+        .filter(|k| k.behavior != drb_gen::ToolBehavior::DynUnmodeled)
+        .map(|k| (k.name.as_str(), minic::parse(&k.trimmed_code).unwrap()))
+        .collect();
+    g.bench_function("corpus_sweep_pre_pr_serial", |b| {
+        b.iter(|| {
+            let mut races = 0usize;
+            for (_, unit) in &units {
+                let mut merged = hbsan::DynReport::default();
+                for &seed in &seeds {
+                    let cfg = hbsan::Config { seed, ..hbsan::Config::default() };
+                    let Ok(out) = hbsan::run(unit, &cfg) else { continue };
+                    merged.merge(hbsan::analyze_events(&out.trace.to_events(), out.trace.threads));
+                }
+                races += merged.has_race() as usize;
+            }
+            black_box(races)
+        })
+    });
+    g.bench_function("corpus_sweep_epoch_serial", |b| {
+        b.iter(|| {
+            let races = units
+                .iter()
+                .filter(|(_, unit)| {
+                    hbsan::check_adversarial_with_workers(unit, &hbsan::Config::default(), &seeds, 1)
+                        .map(|r| r.has_race())
+                        .unwrap_or(false)
+                })
+                .count();
+            black_box(races)
+        })
+    });
+    g.bench_function("corpus_sweep_epoch_parallel", |b| {
+        b.iter(|| {
+            let verdicts = eval::par_map(&units, eval::default_workers(), |(_, unit)| {
+                hbsan::check_adversarial(unit, &hbsan::Config::default(), &seeds)
+                    .map(|r| r.has_race())
+                    .unwrap_or(false)
+            });
+            black_box(verdicts.iter().filter(|v| **v).count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_analyses,
+    bench_corpus_scale,
+    bench_artifact_cache,
+    bench_dynamic_oracle
+);
 criterion_main!(benches);

@@ -4,9 +4,12 @@
 //!   cargo run --release -p bench --bin tables              # all tables
 //!   cargo run --release -p bench --bin tables -- table3    # one table
 //!   cargo run --release -p bench --bin tables -- --json    # machine-readable
+//!   cargo run --release -p bench --bin tables -- --bench-json [path]
+//!       time the dynamic-oracle stages and write BENCH_oracle.json
 
 use eval::{format_cv_table, format_detection_table};
 use llm::calibration::paper;
+use std::time::Instant;
 
 fn print_table2() {
     let rows = eval::table2();
@@ -123,8 +126,101 @@ fn write_out(dir: &str) {
     println!("wrote {} and {}", dir.join("tables.md").display(), dir.join("tables.json").display());
 }
 
+/// Time the full-corpus adversarial oracle sweep (3 schedule seeds per
+/// kernel) through three configurations and write the measurements as
+/// JSON:
+///
+/// * `pre_pr_serial` — the old oracle path: every seed re-executed and
+///   analyzed with the full-vector-clock event-list analyzer, no
+///   seed-insensitivity short-circuit, one kernel at a time.
+/// * `epoch_serial` — the shipping `check_adversarial` machinery pinned
+///   to 1 worker (interned traces + epoch cells + short-circuit).
+/// * `epoch_parallel` — the same, fanned over `RACELLM_WORKERS`.
+fn write_bench_json(path: &str) {
+    const SEEDS: [u64; 3] = [1, 7, 23];
+    let units: Vec<minic::TranslationUnit> = drb_gen::corpus()
+        .iter()
+        .filter(|k| k.behavior != drb_gen::ToolBehavior::DynUnmodeled)
+        .map(|k| minic::parse(&k.trimmed_code).expect("corpus kernels parse"))
+        .collect();
+
+    let time = |f: &dyn Fn() -> usize| {
+        // One warmup pass, then best-of-3 to damp scheduler noise.
+        let races = f();
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            assert_eq!(f(), races, "race count must not vary across passes");
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (races, best)
+    };
+
+    let (races_pre, pre_pr_serial) = time(&|| {
+        let mut races = 0usize;
+        for unit in &units {
+            let mut merged = hbsan::DynReport::default();
+            for &seed in &SEEDS {
+                let cfg = hbsan::Config { seed, ..hbsan::Config::default() };
+                let Ok(out) = hbsan::run(unit, &cfg) else { continue };
+                merged.merge(hbsan::analyze_events(&out.trace.to_events(), out.trace.threads));
+            }
+            races += merged.has_race() as usize;
+        }
+        races
+    });
+    let (races_serial, epoch_serial) = time(&|| {
+        units
+            .iter()
+            .filter(|unit| {
+                hbsan::check_adversarial_with_workers(unit, &hbsan::Config::default(), &SEEDS, 1)
+                    .map(|r| r.has_race())
+                    .unwrap_or(false)
+            })
+            .count()
+    });
+    let (races_par, epoch_parallel) = time(&|| {
+        eval::par_map(&units, eval::default_workers(), |unit| {
+            hbsan::check_adversarial(unit, &hbsan::Config::default(), &SEEDS)
+                .map(|r| r.has_race())
+                .unwrap_or(false)
+        })
+        .into_iter()
+        .filter(|v| *v)
+        .count()
+    });
+    assert_eq!(races_pre, races_serial, "oracle verdicts diverged");
+    assert_eq!(races_serial, races_par, "worker count changed verdicts");
+
+    let out = serde_json::json!({
+        "bench": "dynamic_oracle_corpus_sweep",
+        "kernels": units.len(),
+        "seeds": SEEDS.to_vec(),
+        "workers": eval::default_workers(),
+        "racy_kernels": races_pre,
+        "seconds": serde_json::json!({
+            "pre_pr_serial": pre_pr_serial,
+            "epoch_serial": epoch_serial,
+            "epoch_parallel": epoch_parallel,
+        }),
+        "speedup": serde_json::json!({
+            "epoch_serial_vs_pre_pr": (pre_pr_serial / epoch_serial),
+            "epoch_parallel_vs_pre_pr": (pre_pr_serial / epoch_parallel),
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&out).expect("serializable");
+    std::fs::write(path, &pretty).expect("write bench json");
+    println!("{pretty}");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
+        let path = args.get(pos + 1).map(String::as_str).unwrap_or("BENCH_oracle.json");
+        write_bench_json(path);
+        return;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--out") {
         let dir = args.get(pos + 1).map(String::as_str).unwrap_or("artifacts");
         write_out(dir);

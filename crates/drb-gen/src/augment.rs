@@ -18,15 +18,10 @@ use minic::ast::*;
 use minic::pragma::{Clause, DirectiveKind};
 use std::collections::HashMap;
 
-/// Deterministic mixer for augmentation choices.
-fn mix(seed: u64, salt: u64) -> u64 {
-    let mut x = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+// Deterministic mixer for augmentation choices — the shared
+// implementation is stream-identical to the inline one it replaced, so
+// augmented corpora regenerate byte-for-byte.
+use par::rng::mix;
 
 /// Names that must never be renamed.
 fn is_reserved(name: &str) -> bool {

@@ -2,6 +2,10 @@
 //! the dynamic happens-before checker (the oracle), modulo the
 //! explicitly-marked unmodeled kernels; and the static detector's
 //! failures must be exactly the kernels designed to defeat it.
+//!
+//! The per-kernel sweeps fan out over `par::par_map` (honoring
+//! `RACELLM_WORKERS`); failure lists are collected in corpus order, so
+//! output is worker-count independent.
 
 use drb_gen::{corpus, Kernel, ToolBehavior};
 use hbsan::Config;
@@ -15,23 +19,22 @@ fn dynamic_verdict(k: &Kernel) -> Result<bool, String> {
 
 #[test]
 fn dynamic_checker_agrees_with_labels() {
-    let mut failures = Vec::new();
-    for k in corpus() {
-        if k.behavior == ToolBehavior::DynUnmodeled {
-            continue;
-        }
+    let kernels: Vec<&Kernel> = corpus()
+        .iter()
+        .filter(|k| k.behavior != ToolBehavior::DynUnmodeled)
+        .collect();
+    let failures: Vec<String> = par::par_map(&kernels, par::default_workers(), |k| {
         match dynamic_verdict(k) {
-            Ok(found) => {
-                if found != k.race {
-                    failures.push(format!(
-                        "{}: label={} hbsan={}",
-                        k.name, k.race, found
-                    ));
-                }
+            Ok(found) if found != k.race => {
+                Some(format!("{}: label={} hbsan={}", k.name, k.race, found))
             }
-            Err(e) => failures.push(format!("{}: runtime error: {e}", k.name)),
+            Ok(_) => None,
+            Err(e) => Some(format!("{}: runtime error: {e}", k.name)),
         }
-    }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     assert!(
         failures.is_empty(),
         "{} ground-truth mismatches:\n{}",
@@ -42,44 +45,42 @@ fn dynamic_checker_agrees_with_labels() {
 
 #[test]
 fn every_kernel_executes_without_runtime_error() {
-    for k in corpus() {
+    let errors: Vec<String> = par::par_map(corpus(), par::default_workers(), |k| {
         let unit = minic::parse(&k.trimmed_code).unwrap();
         hbsan::run(&unit, &Config::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-    }
+            .err()
+            .map(|e| format!("{}: {e}", k.name))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(errors.is_empty(), "runtime errors:\n{}", errors.join("\n"));
 }
 
 #[test]
 fn static_detector_failures_match_design() {
-    let mut unexpected = Vec::new();
-    for k in corpus() {
+    let unexpected: Vec<String> = par::par_map(corpus(), par::default_workers(), |k| {
         let report = racecheck::check_source(&k.trimmed_code)
             .unwrap_or_else(|e| panic!("{}: {e}", k.name));
         let found = report.has_race();
         match k.behavior {
             ToolBehavior::EvadesStatic => {
                 // Designed false negative.
-                if found {
-                    unexpected.push(format!("{}: expected static FN but race found", k.name));
-                }
+                found.then(|| format!("{}: expected static FN but race found", k.name))
             }
             ToolBehavior::TripsStatic => {
                 // Designed false positive.
-                if !found {
-                    unexpected
-                        .push(format!("{}: expected static FP but no race reported", k.name));
-                }
+                (!found).then(|| format!("{}: expected static FP but no race reported", k.name))
             }
-            ToolBehavior::Standard | ToolBehavior::DynUnmodeled => {
-                if found != k.race {
-                    unexpected.push(format!(
-                        "{}: label={} static={} (behavior Standard)",
-                        k.name, k.race, found
-                    ));
-                }
-            }
+            ToolBehavior::Standard | ToolBehavior::DynUnmodeled => (found != k.race)
+                .then(|| {
+                    format!("{}: label={} static={} (behavior Standard)", k.name, k.race, found)
+                }),
         }
-    }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     assert!(
         unexpected.is_empty(),
         "{} static-detector surprises:\n{}",
@@ -92,11 +93,13 @@ fn static_detector_failures_match_design() {
 fn augmented_kernels_preserve_labels_under_the_oracle() {
     // Sampled sweep: every mutant's dynamic verdict matches the
     // original's ground-truth label.
-    let mut checked = 0;
-    for k in corpus().iter().step_by(11) {
-        if k.behavior == ToolBehavior::DynUnmodeled {
-            continue;
-        }
+    let sampled: Vec<&Kernel> = corpus()
+        .iter()
+        .step_by(11)
+        .filter(|k| k.behavior != ToolBehavior::DynUnmodeled)
+        .collect();
+    let counts = par::par_map(&sampled, par::default_workers(), |k| {
+        let mut checked = 0usize;
         for m in drb_gen::augment(k, 99) {
             let unit = minic::parse(&m.trimmed_code)
                 .unwrap_or_else(|e| panic!("{}: {e}", m.name));
@@ -106,6 +109,8 @@ fn augmented_kernels_preserve_labels_under_the_oracle() {
             assert_eq!(verdict, m.race, "{}", m.name);
             checked += 1;
         }
-    }
+        checked
+    });
+    let checked: usize = counts.iter().sum();
     assert!(checked > 30, "only {checked} mutants validated");
 }

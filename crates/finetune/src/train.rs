@@ -4,38 +4,10 @@ use crate::model::{fit_base_head, LoraHead};
 use llm::{KernelView, PromptStrategy, Surrogate};
 use serde::{Deserialize, Serialize};
 
-/// SplitMix64 RNG (dependency-light determinism for shuffles/dropout).
-#[derive(Debug, Clone)]
-pub struct Rng(u64);
-
-impl Rng {
-    /// Seeded generator.
-    pub fn new(seed: u64) -> Rng {
-        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
-    }
-
-    /// Next raw value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in [0, 1).
-    pub fn uniform(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Fisher–Yates shuffle.
-    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        for i in (1..xs.len()).rev() {
-            let j = (self.next_u64() % (i as u64 + 1)) as usize;
-            xs.swap(i, j);
-        }
-    }
-}
+// The SplitMix64 generator used for shuffles/dropout; once a private
+// duplicate here, now the single shared implementation in `par`
+// (identical stream — seeded runs reproduce historical results).
+pub use par::rng::Rng;
 
 /// Fine-tuning hyperparameters (paper §3.4: lr 2e-4 for Llama2,
 /// 9.65e-6 for StarChat, LoRA dim 64, dropout 0.1, batch 4 — our

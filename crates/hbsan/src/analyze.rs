@@ -4,9 +4,26 @@
 //! which preserves the serialized schedule's lock ordering); each agent
 //! carries a [`VectorClock`], sync objects carry release clocks, and a
 //! shadow cell per address holds the last write plus the reads since.
+//!
+//! Two implementations exist and must agree:
+//!
+//! * [`analyze`] / [`Analyzer`] — the production **epoch path**: dense
+//!   per-agent/per-address state, `Copy` shadow cells holding FastTrack
+//!   epochs, O(1) coverage checks, and a clock pool so no `VectorClock`
+//!   is allocated or cloned per access. A read cell stays a single
+//!   epoch while one agent is reading and is promoted to a full
+//!   per-agent read list only on the first concurrent read by a second
+//!   agent (FastTrack's read-share transition) — the list mirrors the
+//!   reference path's structure exactly so every race is reported with
+//!   the same prior site, in the same order.
+//! * [`analyze_events`] / [`analyze_reference`] — the original
+//!   full-materialization path over expanded [`Event`]s, kept verbatim
+//!   as the differential baseline (see `tests/` here and in `drb-gen`)
+//!   and as the cost model for the pre-interning representation.
 
-use crate::trace::{Event, EventKind, Site, SyncKey, Trace};
+use crate::trace::{Event, EventKind, Op, Site, SiteId, SyncKey, Trace};
 use crate::vc::{Epoch, VectorClock};
+use par::hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -39,10 +56,16 @@ impl DynReport {
         !self.races.is_empty()
     }
 
-    /// Merge another report in (used when unioning schedules).
+    /// Merge another report in (used when unioning schedules). Linear in
+    /// the combined race count: dedup goes through a hash set of site
+    /// pairs rather than a `Vec::contains` scan per race.
     pub fn merge(&mut self, other: DynReport) {
+        if other.races.is_empty() {
+            return;
+        }
+        let mut seen: std::collections::HashSet<DynRace> = self.races.iter().cloned().collect();
         for r in other.races {
-            if !self.races.contains(&r) {
+            if seen.insert(r.clone()) {
                 self.races.push(r);
             }
         }
@@ -64,15 +87,319 @@ impl DynReport {
     }
 }
 
+// ======================================================================
+// Epoch path
+// ======================================================================
+
+/// Last-read state of one shadow cell.
+#[derive(Debug, Clone, Copy, Default)]
+enum ReadState {
+    /// No reads since the last write.
+    #[default]
+    None,
+    /// Exactly one reading agent (FastTrack read epoch).
+    One(Epoch, SiteId, bool),
+    /// Concurrent readers: index into the analyzer's pooled read lists.
+    Many(u32),
+}
+
+/// Shadow cell: last write epoch plus read state. `Copy`, 4 words.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    write: Option<(Epoch, SiteId, bool)>,
+    read: ReadState,
+}
+
+/// Reusable epoch-path analyzer.
+///
+/// All per-run state (agent clocks, release clocks, shadow cells, read
+/// lists, the phase-sort scratch) lives in pooled buffers that are
+/// logically cleared — not freed — between runs, so sweeping many
+/// schedules or kernels through one `Analyzer` performs no steady-state
+/// allocation. [`analyze`] maintains one per thread.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    order: Vec<u32>,
+    bucket: Vec<u32>,
+    vcs: Vec<VectorClock>,
+    lock_vcs: Vec<VectorClock>,
+    lock_set: Vec<bool>,
+    task_end: Vec<VectorClock>,
+    task_done: Vec<bool>,
+    cells: Vec<Cell>,
+    read_lists: Vec<Vec<(Epoch, SiteId, bool)>>,
+    live_lists: usize,
+    joined: VectorClock,
+    scratch: VectorClock,
+    races: Vec<DynRace>,
+    seen: FxHashSet<(u32, u32, u32, u32, u32)>,
+}
+
+fn push_race_interned(
+    races: &mut Vec<DynRace>,
+    seen: &mut FxHashSet<(u32, u32, u32, u32, u32)>,
+    trace: &Trace,
+    prior: SiteId,
+    current: SiteId,
+) {
+    let (ps, cs) = (trace.site(prior), trace.site(current));
+    let key = (
+        trace.site_var(prior),
+        ps.span.line(),
+        ps.span.col(),
+        cs.span.line(),
+        cs.span.col(),
+    );
+    if seen.insert(key) {
+        races.push(DynRace { prior: ps.clone(), current: cs.clone() });
+    }
+}
+
+impl Analyzer {
+    /// A fresh analyzer with empty pools.
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    fn reset(&mut self, trace: &Trace) {
+        let agents = trace.max_agent() + 1;
+        let agents = agents.max(trace.threads.max(1));
+        for vc in self.vcs.iter_mut().take(agents) {
+            vc.clear();
+        }
+        if self.vcs.len() < agents {
+            self.vcs.resize_with(agents, VectorClock::new);
+        }
+        for t in 0..trace.threads.max(1) {
+            self.vcs[t].tick(t);
+        }
+        let syncs = trace.num_syncs();
+        if self.lock_vcs.len() < syncs {
+            self.lock_vcs.resize_with(syncs, VectorClock::new);
+        }
+        self.lock_set.clear();
+        self.lock_set.resize(syncs, false);
+        if self.task_end.len() < agents {
+            self.task_end.resize_with(agents, VectorClock::new);
+        }
+        self.task_done.clear();
+        self.task_done.resize(agents, false);
+        self.cells.clear();
+        self.cells.resize(trace.max_addr() + 1, Cell::default());
+        self.live_lists = 0;
+        self.races.clear();
+        self.seen.clear();
+    }
+
+    /// Stable counting sort of event indices by phase (the reference
+    /// path's `sort_by_key` without its per-run allocations).
+    fn sort_by_phase(&mut self, trace: &Trace) {
+        let phases = trace.phases();
+        let n = phases.len();
+        let buckets = trace.max_phase() as usize + 2;
+        self.bucket.clear();
+        self.bucket.resize(buckets, 0);
+        for &p in phases {
+            self.bucket[p as usize + 1] += 1;
+        }
+        for b in 1..buckets {
+            self.bucket[b] += self.bucket[b - 1];
+        }
+        self.order.clear();
+        self.order.resize(n, 0);
+        for (i, &p) in phases.iter().enumerate() {
+            let slot = self.bucket[p as usize];
+            self.order[slot as usize] = i as u32;
+            self.bucket[p as usize] = slot + 1;
+        }
+    }
+
+    /// Barrier: every thread agent's clock becomes the join of all
+    /// thread clocks and all completed-task clocks, then ticks.
+    fn barrier_join(&mut self, threads: usize) {
+        self.joined.clear();
+        for t in 0..threads.max(1) {
+            self.joined.join(&self.vcs[t]);
+        }
+        for (a, done) in self.task_done.iter().enumerate() {
+            if *done {
+                self.joined.join(&self.task_end[a]);
+            }
+        }
+        for t in 0..threads.max(1) {
+            self.vcs[t].copy_from(&self.joined);
+            self.vcs[t].tick(t);
+        }
+    }
+
+    /// Replay `trace` and report races (epoch fast path).
+    pub fn analyze(&mut self, trace: &Trace) -> DynReport {
+        self.reset(trace);
+        self.sort_by_phase(trace);
+
+        let agents_col = trace.agents();
+        let ops = trace.ops();
+        let phases = trace.phases();
+        let threads = trace.threads;
+
+        let mut cur_phase = self.order.first().map(|&i| phases[i as usize]).unwrap_or(0);
+        for k in 0..self.order.len() {
+            let i = self.order[k] as usize;
+            if phases[i] != cur_phase {
+                self.barrier_join(threads);
+                cur_phase = phases[i];
+            }
+            let agent = agents_col[i] as usize;
+            match ops[i] {
+                Op::Access { addr, site, write, atomic } => {
+                    let vc = &self.vcs[agent];
+                    let cell = &mut self.cells[addr];
+                    if write {
+                        if let Some((e, s, a)) = cell.write {
+                            if !(e.covered_by(vc) || (atomic && a)) {
+                                push_race_interned(&mut self.races, &mut self.seen, trace, s, site);
+                            }
+                        }
+                        match cell.read {
+                            ReadState::None => {}
+                            ReadState::One(e, s, a) => {
+                                if !(e.covered_by(vc) || (atomic && a)) {
+                                    push_race_interned(
+                                        &mut self.races,
+                                        &mut self.seen,
+                                        trace,
+                                        s,
+                                        site,
+                                    );
+                                }
+                            }
+                            ReadState::Many(li) => {
+                                for &(e, s, a) in &self.read_lists[li as usize] {
+                                    if !(e.covered_by(vc) || (atomic && a)) {
+                                        push_race_interned(
+                                            &mut self.races,
+                                            &mut self.seen,
+                                            trace,
+                                            s,
+                                            site,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        cell.write = Some((Epoch::of(agent, vc), site, atomic));
+                        cell.read = ReadState::None;
+                    } else {
+                        if let Some((e, s, a)) = cell.write {
+                            if !(e.covered_by(vc) || (atomic && a)) {
+                                push_race_interned(&mut self.races, &mut self.seen, trace, s, site);
+                            }
+                        }
+                        let me = (Epoch::of(agent, vc), site, atomic);
+                        match cell.read {
+                            ReadState::None => cell.read = ReadState::One(me.0, me.1, me.2),
+                            ReadState::One(e0, s0, a0) => {
+                                if e0.agent == agent {
+                                    // Same-agent re-read: replace in place
+                                    // (the reference path's retain+push on
+                                    // a one-element list).
+                                    cell.read = ReadState::One(me.0, me.1, me.2);
+                                } else {
+                                    // First concurrent read: promote the
+                                    // epoch to a full read list, oldest
+                                    // reader first (reference order).
+                                    let li = self.live_lists;
+                                    if self.read_lists.len() <= li {
+                                        self.read_lists.push(Vec::new());
+                                    }
+                                    let list = &mut self.read_lists[li];
+                                    list.clear();
+                                    list.push((e0, s0, a0));
+                                    list.push(me);
+                                    self.live_lists = li + 1;
+                                    cell.read = ReadState::Many(li as u32);
+                                }
+                            }
+                            ReadState::Many(li) => {
+                                let list = &mut self.read_lists[li as usize];
+                                // At most one entry per agent (invariant
+                                // shared with the reference path's retain).
+                                if let Some(p) = list.iter().position(|r| r.0.agent == agent) {
+                                    list.remove(p);
+                                }
+                                list.push(me);
+                            }
+                        }
+                    }
+                }
+                Op::Acquire(sid) => {
+                    if self.lock_set[sid as usize] {
+                        self.vcs[agent].join(&self.lock_vcs[sid as usize]);
+                    }
+                }
+                Op::Release(sid) => {
+                    self.lock_vcs[sid as usize].copy_from(&self.vcs[agent]);
+                    self.lock_set[sid as usize] = true;
+                    self.vcs[agent].tick(agent);
+                }
+                Op::TaskSpawn { child } => {
+                    // Child inherits the parent's pre-tick clock.
+                    self.scratch.copy_from(&self.vcs[agent]);
+                    self.vcs[agent].tick(agent);
+                    self.scratch.tick(child);
+                    self.vcs[child].copy_from(&self.scratch);
+                }
+                Op::TaskEnd => {
+                    self.task_end[agent].copy_from(&self.vcs[agent]);
+                    self.task_done[agent] = true;
+                }
+                Op::TaskWait { start, len } => {
+                    for &c in trace.wait_children(start, len) {
+                        let c = c as usize;
+                        if self.task_done[c] {
+                            self.vcs[agent].join(&self.task_end[c]);
+                        }
+                    }
+                }
+            }
+        }
+        DynReport { races: std::mem::take(&mut self.races) }
+    }
+}
+
+thread_local! {
+    static ANALYZER: std::cell::RefCell<Analyzer> = std::cell::RefCell::new(Analyzer::new());
+}
+
+/// Replay a trace and report races (epoch fast path; uses a per-thread
+/// pooled [`Analyzer`] so repeated calls reuse all scratch state).
+pub fn analyze(trace: &Trace) -> DynReport {
+    ANALYZER.with(|a| a.borrow_mut().analyze(trace))
+}
+
+// ======================================================================
+// Reference path (pre-epoch implementation, kept for differential tests
+// and as the cost model of the pre-interning representation)
+// ======================================================================
+
 #[derive(Debug, Default, Clone)]
 struct Shadow {
     last_write: Option<(Epoch, Site, bool)>,
     reads: Vec<(Epoch, Site, bool)>,
 }
 
-/// Replay a trace and report races.
-pub fn analyze(trace: &Trace) -> DynReport {
-    let mut events: Vec<&Event> = trace.events.iter().collect();
+/// Replay a flat trace through the reference path by materializing the
+/// expanded event list first (exactly the representation — and per-event
+/// allocation profile — the checker used before interning).
+pub fn analyze_reference(trace: &Trace) -> DynReport {
+    analyze_events(&trace.to_events(), trace.threads)
+}
+
+/// The original full-vector-clock analyzer over expanded events: one
+/// `VectorClock` clone and one-to-two `Site` clones per access, hash
+/// maps keyed by agent/address/sync object, and a `Vec<&Event>` sort.
+pub fn analyze_events(events: &[Event], threads: usize) -> DynReport {
+    let mut events: Vec<&Event> = events.iter().collect();
     // Stable sort by phase: reconstructs a barrier-respecting order while
     // keeping the serialized order within each phase.
     events.sort_by_key(|e| e.phase);
@@ -86,7 +413,7 @@ pub fn analyze(trace: &Trace) -> DynReport {
         std::collections::HashSet::new();
 
     // Initialize thread clocks.
-    for t in 0..trace.threads.max(1) {
+    for t in 0..threads.max(1) {
         let mut vc = VectorClock::new();
         vc.tick(t);
         vcs.insert(t, vc);
@@ -95,7 +422,7 @@ pub fn analyze(trace: &Trace) -> DynReport {
     let mut cur_phase = events.first().map(|e| e.phase).unwrap_or(0);
     for ev in events {
         if ev.phase != cur_phase {
-            barrier_join(&mut vcs, &task_end, trace.threads);
+            barrier_join(&mut vcs, &task_end, threads);
             cur_phase = ev.phase;
         }
         let agent = ev.agent;
@@ -226,29 +553,39 @@ mod tests {
         }
     }
 
+    /// Run both paths and assert full agreement before returning the
+    /// epoch-path report — every unit test below is a differential test.
+    fn analyze_both(events: Vec<Event>, threads: usize) -> DynReport {
+        let trace = Trace::from_events(events, threads);
+        let epoch = analyze(&trace);
+        let reference = analyze_reference(&trace);
+        assert_eq!(epoch, reference, "epoch path diverged from reference");
+        epoch
+    }
+
     #[test]
     fn concurrent_writes_race() {
-        let trace = Trace {
-            events: vec![access(0, 1, 10, true, false, 5), access(1, 1, 10, true, false, 5)],
-            threads: 2,
-        };
-        assert!(analyze(&trace).has_race());
+        let report = analyze_both(
+            vec![access(0, 1, 10, true, false, 5), access(1, 1, 10, true, false, 5)],
+            2,
+        );
+        assert!(report.has_race());
     }
 
     #[test]
     fn barrier_separates() {
-        let trace = Trace {
-            events: vec![access(0, 1, 10, true, false, 5), access(1, 2, 10, true, false, 7)],
-            threads: 2,
-        };
-        assert!(!analyze(&trace).has_race());
+        let report = analyze_both(
+            vec![access(0, 1, 10, true, false, 5), access(1, 2, 10, true, false, 7)],
+            2,
+        );
+        assert!(!report.has_race());
     }
 
     #[test]
     fn lock_protects() {
         let key = SyncKey::Critical("c".into());
-        let trace = Trace {
-            events: vec![
+        let report = analyze_both(
+            vec![
                 Event { agent: 0, phase: 1, kind: EventKind::Acquire(key.clone()) },
                 access(0, 1, 10, true, false, 5),
                 Event { agent: 0, phase: 1, kind: EventKind::Release(key.clone()) },
@@ -256,17 +593,17 @@ mod tests {
                 access(1, 1, 10, true, false, 5),
                 Event { agent: 1, phase: 1, kind: EventKind::Release(key) },
             ],
-            threads: 2,
-        };
-        assert!(!analyze(&trace).has_race());
+            2,
+        );
+        assert!(!report.has_race());
     }
 
     #[test]
     fn different_locks_do_not_protect() {
         let k1 = SyncKey::Critical("a".into());
         let k2 = SyncKey::Critical("b".into());
-        let trace = Trace {
-            events: vec![
+        let report = analyze_both(
+            vec![
                 Event { agent: 0, phase: 1, kind: EventKind::Acquire(k1.clone()) },
                 access(0, 1, 10, true, false, 5),
                 Event { agent: 0, phase: 1, kind: EventKind::Release(k1) },
@@ -274,95 +611,129 @@ mod tests {
                 access(1, 1, 10, true, false, 6),
                 Event { agent: 1, phase: 1, kind: EventKind::Release(k2) },
             ],
-            threads: 2,
-        };
-        assert!(analyze(&trace).has_race());
+            2,
+        );
+        assert!(report.has_race());
     }
 
     #[test]
     fn both_atomic_no_race() {
-        let trace = Trace {
-            events: vec![access(0, 1, 10, true, true, 5), access(1, 1, 10, true, true, 5)],
-            threads: 2,
-        };
-        assert!(!analyze(&trace).has_race());
+        let report = analyze_both(
+            vec![access(0, 1, 10, true, true, 5), access(1, 1, 10, true, true, 5)],
+            2,
+        );
+        assert!(!report.has_race());
     }
 
     #[test]
     fn atomic_vs_plain_races() {
-        let trace = Trace {
-            events: vec![access(0, 1, 10, true, true, 5), access(1, 1, 10, false, false, 6)],
-            threads: 2,
-        };
-        assert!(analyze(&trace).has_race());
+        let report = analyze_both(
+            vec![access(0, 1, 10, true, true, 5), access(1, 1, 10, false, false, 6)],
+            2,
+        );
+        assert!(report.has_race());
     }
 
     #[test]
     fn read_read_no_race() {
-        let trace = Trace {
-            events: vec![access(0, 1, 10, false, false, 5), access(1, 1, 10, false, false, 6)],
-            threads: 2,
-        };
-        assert!(!analyze(&trace).has_race());
+        let report = analyze_both(
+            vec![access(0, 1, 10, false, false, 5), access(1, 1, 10, false, false, 6)],
+            2,
+        );
+        assert!(!report.has_race());
     }
 
     #[test]
     fn write_then_concurrent_read_races() {
-        let trace = Trace {
-            events: vec![access(0, 1, 10, true, false, 5), access(1, 1, 10, false, false, 6)],
-            threads: 2,
-        };
-        assert!(analyze(&trace).has_race());
+        let report = analyze_both(
+            vec![access(0, 1, 10, true, false, 5), access(1, 1, 10, false, false, 6)],
+            2,
+        );
+        assert!(report.has_race());
+    }
+
+    #[test]
+    fn concurrent_reads_then_write_reports_every_reader() {
+        // Two distinct-agent reads force the One → Many promotion; the
+        // racing write must be paired with *both* prior read sites, in
+        // reference order.
+        let report = analyze_both(
+            vec![
+                access(0, 1, 10, false, false, 5),
+                access(1, 1, 10, false, false, 6),
+                access(2, 1, 10, true, false, 7),
+            ],
+            3,
+        );
+        assert_eq!(report.races.len(), 2);
+        assert_eq!(report.races[0].prior.span.line(), 5);
+        assert_eq!(report.races[1].prior.span.line(), 6);
+    }
+
+    #[test]
+    fn same_agent_reread_stays_single_epoch() {
+        // Agent 0 reads twice (no promotion), then agent 1 writes: the
+        // race pairs with agent 0's *latest* read, as in the reference.
+        let report = analyze_both(
+            vec![
+                access(0, 1, 10, false, false, 5),
+                access(0, 1, 10, false, false, 6),
+                access(1, 1, 10, true, false, 7),
+            ],
+            2,
+        );
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].prior.span.line(), 6);
     }
 
     #[test]
     fn task_spawn_orders_parent_prefix() {
         // Parent writes, then spawns task that reads: ordered by spawn.
-        let trace = Trace {
-            events: vec![
+        let report = analyze_both(
+            vec![
                 access(0, 1, 10, true, false, 5),
                 Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
                 access(4, 1, 10, false, false, 6),
                 Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
             ],
-            threads: 2,
-        };
-        assert!(!analyze(&trace).has_race());
+            2,
+        );
+        assert!(!report.has_race());
     }
 
     #[test]
     fn task_vs_parent_after_spawn_races() {
-        let trace = Trace {
-            events: vec![
+        let report = analyze_both(
+            vec![
                 Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
                 access(4, 1, 10, true, false, 6),
                 Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
                 access(0, 1, 10, true, false, 7),
             ],
-            threads: 2,
-        };
-        assert!(analyze(&trace).has_race());
+            2,
+        );
+        assert!(report.has_race());
     }
 
     #[test]
     fn taskwait_orders() {
-        let trace = Trace {
-            events: vec![
+        let report = analyze_both(
+            vec![
                 Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
                 access(4, 1, 10, true, false, 6),
                 Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
                 Event { agent: 0, phase: 1, kind: EventKind::TaskWait { children: vec![4] } },
                 access(0, 1, 10, true, false, 7),
             ],
-            threads: 2,
-        };
-        assert!(!analyze(&trace).has_race());
+            2,
+        );
+        assert!(!report.has_race());
     }
 
     #[test]
     fn two_sibling_tasks_race() {
-        let trace = Trace {
-            events: vec![
+        let report = analyze_both(
+            vec![
                 Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
                 access(4, 1, 10, true, false, 6),
                 Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
@@ -370,32 +741,59 @@ mod tests {
                 access(5, 1, 10, true, false, 8),
                 Event { agent: 5, phase: 1, kind: EventKind::TaskEnd },
             ],
-            threads: 2,
-        };
-        assert!(analyze(&trace).has_race());
+            2,
+        );
+        assert!(report.has_race());
     }
 
     #[test]
     fn same_agent_sequential_no_race() {
-        let trace = Trace {
-            events: vec![access(0, 1, 10, true, false, 5), access(0, 1, 10, true, false, 6)],
-            threads: 2,
-        };
-        assert!(!analyze(&trace).has_race());
+        let report = analyze_both(
+            vec![access(0, 1, 10, true, false, 5), access(0, 1, 10, true, false, 6)],
+            2,
+        );
+        assert!(!report.has_race());
     }
 
     #[test]
     fn barrier_completes_tasks() {
         // Task writes in phase 1; thread 1 reads in phase 2.
-        let trace = Trace {
-            events: vec![
+        let report = analyze_both(
+            vec![
                 Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 4 } },
                 access(4, 1, 10, true, false, 6),
                 Event { agent: 4, phase: 1, kind: EventKind::TaskEnd },
                 access(1, 2, 10, false, false, 9),
             ],
-            threads: 2,
-        };
-        assert!(!analyze(&trace).has_race());
+            2,
+        );
+        assert!(!report.has_race());
+    }
+
+    #[test]
+    fn merge_dedups_and_preserves_first_seen_order() {
+        let r1 = DynRace { prior: site("x", 5, true), current: site("x", 6, true) };
+        let r2 = DynRace { prior: site("y", 2, false), current: site("y", 3, true) };
+        let r3 = DynRace { prior: site("z", 8, true), current: site("z", 9, false) };
+        let mut a = DynReport { races: vec![r1.clone(), r2.clone()] };
+        a.merge(DynReport { races: vec![r2.clone(), r3.clone(), r3.clone(), r1.clone()] });
+        assert_eq!(a.races, vec![r1, r2, r3]);
+    }
+
+    #[test]
+    fn pooled_analyzer_is_reusable() {
+        let mut an = Analyzer::new();
+        let racy = Trace::from_events(
+            vec![access(0, 1, 10, true, false, 5), access(1, 1, 10, true, false, 5)],
+            2,
+        );
+        let clean = Trace::from_events(
+            vec![access(0, 1, 10, true, false, 5), access(1, 2, 10, true, false, 7)],
+            2,
+        );
+        for _ in 0..3 {
+            assert!(an.analyze(&racy).has_race());
+            assert!(!an.analyze(&clean).has_race(), "stale pooled state leaked");
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! a [`Trace`] for the vector-clock analyzer.
 
 use crate::sched::Scheduler;
-use crate::trace::{Event, EventKind, Site, SyncKey, Trace};
+use crate::trace::{SyncKey, Trace};
 use crate::value::Value;
 use minic::ast::*;
 use minic::pragma::*;
@@ -96,17 +96,23 @@ pub struct RunOutput {
     pub printed: Vec<String>,
     /// `main`'s return value, if it returned one.
     pub exit: Option<i64>,
+    /// Whether the [`Scheduler`] consulted its RNG during this run. When
+    /// false (static/auto scheduling throughout), every seed produces
+    /// exactly this trace, so seed sweeps can stop after the first run.
+    pub schedule_sensitive: bool,
 }
 
 /// Interpret a unit, producing a trace.
 pub fn run(unit: &TranslationUnit, cfg: &Config) -> RtResult<RunOutput> {
     let mut interp = Interp::new(unit, cfg)?;
     let exit = interp.run_main()?;
-    let threads = interp.max_team.max(cfg.threads);
+    let mut trace = interp.trace;
+    trace.threads = interp.max_team.max(cfg.threads);
     Ok(RunOutput {
-        trace: Trace { events: interp.trace, threads },
+        trace,
         printed: interp.printed,
         exit,
+        schedule_sensitive: interp.sched.seed_sensitive(),
     })
 }
 
@@ -118,7 +124,7 @@ struct Interp<'a> {
     // frames[0] is the global frame; lookup: innermost frame scopes, then
     // globals.
     frames: Vec<Vec<HashMap<String, Binding>>>,
-    trace: Vec<Event>,
+    trace: Trace,
     printed: Vec<String>,
     fuel: u64,
 
@@ -167,7 +173,7 @@ impl<'a> Interp<'a> {
             sched: Scheduler::new(cfg.threads, cfg.seed),
             heap: vec![Value::ZERO], // address 0 reserved (null)
             frames: vec![vec![HashMap::new()]],
-            trace: Vec::new(),
+            trace: Trace::new(),
             printed: Vec::new(),
             fuel: cfg.fuel,
             in_region: false,
@@ -254,30 +260,60 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn emit_access(&mut self, addr: usize, site: Site) {
+    /// Record a memory access for lvalue expression `e`. The site is
+    /// interned by `(span, direction)` — the root-variable name and the
+    /// printed source text are only materialized on the first occurrence,
+    /// so the steady-state cost per access is one hash lookup and a flat
+    /// push, with zero allocation.
+    fn emit_access(&mut self, addr: usize, e: &Expr, write: bool) {
         if self.suppress_events || !self.in_region {
             return;
         }
+        let sid = self.trace.intern_site(e.span(), write, || {
+            (e.root_var().unwrap_or("<ptr>").to_string(), print_expr(e))
+        });
         let atomic = self
             .atomic_target
             .as_deref()
-            .is_some_and(|t| t == site.var);
-        self.trace.push(Event {
-            agent: self.agent,
-            phase: self.phase,
-            kind: EventKind::Access { addr, atomic, site },
-        });
+            .is_some_and(|t| t == self.trace.site_var_name(sid));
+        self.trace.push_access_flags(self.agent, self.phase, addr, sid, write, atomic);
     }
 
-    fn emit_sync(&mut self, kind: EventKind) {
+    fn emit_acquire(&mut self, key: &SyncKey) {
         if !self.in_region {
             return;
         }
-        self.trace.push(Event { agent: self.agent, phase: self.phase, kind });
+        let sid = self.trace.intern_sync(key);
+        self.trace.push_acquire(self.agent, self.phase, sid);
     }
 
-    fn site(&self, e: &Expr, var: &str, write: bool) -> Site {
-        Site { var: var.to_string(), text: print_expr(e), span: e.span(), write }
+    fn emit_release(&mut self, key: &SyncKey) {
+        if !self.in_region {
+            return;
+        }
+        let sid = self.trace.intern_sync(key);
+        self.trace.push_release(self.agent, self.phase, sid);
+    }
+
+    fn emit_task_spawn(&mut self, child: usize) {
+        if !self.in_region {
+            return;
+        }
+        self.trace.push_task_spawn(self.agent, self.phase, child);
+    }
+
+    fn emit_task_end(&mut self) {
+        if !self.in_region {
+            return;
+        }
+        self.trace.push_task_end(self.agent, self.phase);
+    }
+
+    fn emit_task_wait(&mut self, children: &[usize]) {
+        if !self.in_region {
+            return;
+        }
+        self.trace.push_task_wait(self.agent, self.phase, children);
     }
 
     // -------------------------------------------------------------
@@ -330,13 +366,13 @@ impl<'a> Interp<'a> {
     // -------------------------------------------------------------
 
     /// Resolve an lvalue to a heap address, emitting subscript reads.
-    fn resolve_lvalue(&mut self, e: &Expr) -> RtResult<(usize, String)> {
+    fn resolve_lvalue(&mut self, e: &Expr) -> RtResult<usize> {
         match e {
             Expr::Ident { name, .. } => {
                 let b = self
                     .lookup(name)
                     .ok_or_else(|| RtError::Unknown(name.clone()))?;
-                Ok((b.addr, name.clone()))
+                Ok(b.addr)
             }
             Expr::Index { .. } => {
                 // Unwind the index chain.
@@ -361,17 +397,11 @@ impl<'a> Interp<'a> {
                                     b.count, span.pos
                                 )));
                             }
-                            Ok((b.addr + flat, name.clone()))
+                            Ok(b.addr + flat)
                         } else {
                             // Pointer variable: read it, then offset.
                             let pv = self.load(b.addr)?;
-                            let site = Site {
-                                var: name.clone(),
-                                text: name.clone(),
-                                span: *span,
-                                write: false,
-                            };
-                            self.emit_access(b.addr, site);
+                            self.emit_access(b.addr, cur, false);
                             let base_addr = match pv {
                                 Value::Ptr(p) => p,
                                 other => usize::try_from(other.as_int().max(0)).unwrap_or(0),
@@ -387,7 +417,7 @@ impl<'a> Interp<'a> {
                                     span.pos
                                 )));
                             }
-                            Ok((addr, name.clone()))
+                            Ok(addr)
                         }
                     }
                     other => {
@@ -403,8 +433,7 @@ impl<'a> Interp<'a> {
                             let off = self.eval(idx)?.as_int();
                             addr = offset_addr(addr, off)?;
                         }
-                        let var = other.root_var().unwrap_or("<ptr>").to_string();
-                        Ok((addr, var))
+                        Ok(addr)
                     }
                 }
             }
@@ -416,8 +445,7 @@ impl<'a> Interp<'a> {
                 if addr == 0 || addr >= self.heap.len() {
                     return Err(RtError::BadAddress("deref out of bounds".into()));
                 }
-                let var = expr.root_var().unwrap_or("<ptr>").to_string();
-                Ok((addr, var))
+                Ok(addr)
             }
             Expr::Cast { expr, .. } => self.resolve_lvalue(expr),
             other => Err(RtError::Unsupported(format!(
@@ -447,7 +475,7 @@ impl<'a> Interp<'a> {
             Expr::FloatLit { value, .. } => Ok(Value::Float(*value)),
             Expr::CharLit { value, .. } => Ok(Value::Int(*value as i64)),
             Expr::StrLit { .. } => Ok(Value::Ptr(0)),
-            Expr::Ident { name, span } => {
+            Expr::Ident { name, .. } => {
                 let b = self
                     .lookup(name)
                     .cloned()
@@ -457,16 +485,13 @@ impl<'a> Interp<'a> {
                     return Ok(Value::Ptr(b.addr));
                 }
                 let v = self.load(b.addr)?;
-                let site =
-                    Site { var: name.clone(), text: name.clone(), span: *span, write: false };
-                self.emit_access(b.addr, site);
+                self.emit_access(b.addr, e, false);
                 Ok(v)
             }
             Expr::Index { .. } => {
-                let (addr, var) = self.resolve_lvalue(e)?;
+                let addr = self.resolve_lvalue(e)?;
                 let v = self.load(addr)?;
-                let site = self.site(e, &var, false);
-                self.emit_access(addr, site);
+                self.emit_access(addr, e, false);
                 Ok(v)
             }
             Expr::Unary { op, expr, .. } => match op {
@@ -481,14 +506,13 @@ impl<'a> Interp<'a> {
                 UnOp::Not => Ok(Value::Int(i64::from(!self.eval(expr)?.truthy()))),
                 UnOp::BitNot => Ok(Value::Int(!self.eval(expr)?.as_int())),
                 UnOp::Deref => {
-                    let (addr, var) = self.resolve_lvalue(e)?;
+                    let addr = self.resolve_lvalue(e)?;
                     let v = self.load(addr)?;
-                    let site = self.site(e, &var, false);
-                    self.emit_access(addr, site);
+                    self.emit_access(addr, e, false);
                     Ok(v)
                 }
                 UnOp::AddrOf => {
-                    let (addr, _) = self.resolve_lvalue(expr)?;
+                    let addr = self.resolve_lvalue(expr)?;
                     Ok(Value::Ptr(addr))
                 }
             },
@@ -515,26 +539,23 @@ impl<'a> Interp<'a> {
             }
             Expr::Assign { op, lhs, rhs, .. } => {
                 let rv = self.eval(rhs)?;
-                let (addr, var) = self.resolve_lvalue(lhs)?;
+                let addr = self.resolve_lvalue(lhs)?;
                 let new = match op.bin_op() {
                     Some(b) => {
                         let old = self.load(addr)?;
-                        let site = self.site(lhs, &var, false);
-                        self.emit_access(addr, site);
+                        self.emit_access(addr, lhs, false);
                         bin_op(b, old, rv)?
                     }
                     None => rv,
                 };
                 self.store(addr, new)?;
-                let site = self.site(lhs, &var, true);
-                self.emit_access(addr, site);
+                self.emit_access(addr, lhs, true);
                 Ok(new)
             }
             Expr::IncDec { inc, prefix, expr, .. } => {
-                let (addr, var) = self.resolve_lvalue(expr)?;
+                let addr = self.resolve_lvalue(expr)?;
                 let old = self.load(addr)?;
-                let site_r = self.site(expr, &var, false);
-                self.emit_access(addr, site_r);
+                self.emit_access(addr, expr, false);
                 let delta = if *inc { 1 } else { -1 };
                 let new = match old {
                     Value::Int(v) => Value::Int(v + delta),
@@ -542,8 +563,7 @@ impl<'a> Interp<'a> {
                     Value::Ptr(p) => Value::Ptr(offset_addr(p, delta)?),
                 };
                 self.store(addr, new)?;
-                let site_w = self.site(expr, &var, true);
-                self.emit_access(addr, site_w);
+                self.emit_access(addr, expr, true);
                 Ok(if *prefix { new } else { old })
             }
             Expr::Cond { cond, then, els, .. } => {
@@ -580,17 +600,17 @@ impl<'a> Interp<'a> {
             }
             "omp_set_lock" | "omp_set_nest_lock" => {
                 let (addr, _) = self.lock_addr(args, span)?;
-                self.emit_sync(EventKind::Acquire(SyncKey::Lock(addr)));
+                self.emit_acquire(&SyncKey::Lock(addr));
                 return Ok(Value::Int(0));
             }
             "omp_unset_lock" | "omp_unset_nest_lock" => {
                 let (addr, _) = self.lock_addr(args, span)?;
-                self.emit_sync(EventKind::Release(SyncKey::Lock(addr)));
+                self.emit_release(&SyncKey::Lock(addr));
                 return Ok(Value::Int(0));
             }
             "omp_test_lock" => {
                 let (addr, _) = self.lock_addr(args, span)?;
-                self.emit_sync(EventKind::Acquire(SyncKey::Lock(addr)));
+                self.emit_acquire(&SyncKey::Lock(addr));
                 return Ok(Value::Int(1));
             }
             "printf" => {
@@ -856,8 +876,8 @@ impl<'a> Interp<'a> {
             }
             DK::Taskwait => {
                 let children = std::mem::take(&mut self.pending_tasks);
-                if self.in_region && !children.is_empty() {
-                    self.emit_sync(EventKind::TaskWait { children });
+                if !children.is_empty() {
+                    self.emit_task_wait(&children);
                 }
                 Ok(Flow::Normal)
             }
@@ -866,8 +886,8 @@ impl<'a> Interp<'a> {
                 let saved = std::mem::take(&mut self.pending_tasks);
                 let flow = self.exec_stmt(body)?;
                 let children = std::mem::replace(&mut self.pending_tasks, saved);
-                if self.in_region && !children.is_empty() {
-                    self.emit_sync(EventKind::TaskWait { children });
+                if !children.is_empty() {
+                    self.emit_task_wait(&children);
                 }
                 Ok(flow)
             }
@@ -946,9 +966,9 @@ impl<'a> Interp<'a> {
             DK::Critical(name) => {
                 let body = body_or_ok(body)?;
                 let key = SyncKey::Critical(name.clone().unwrap_or_else(|| "<anon>".into()));
-                self.emit_sync(EventKind::Acquire(key.clone()));
+                self.emit_acquire(&key);
                 let flow = self.exec_stmt(body)?;
-                self.emit_sync(EventKind::Release(key));
+                self.emit_release(&key);
                 Ok(flow)
             }
             DK::Atomic(kind) => {
@@ -966,9 +986,9 @@ impl<'a> Interp<'a> {
                 // order (static scheduling processes iterations in order).
                 let cid = dir.span.start;
                 let key = SyncKey::Ordered(cid as usize);
-                self.emit_sync(EventKind::Acquire(key.clone()));
+                self.emit_acquire(&key);
                 let flow = self.exec_stmt(body)?;
-                self.emit_sync(EventKind::Release(key));
+                self.emit_release(&key);
                 *self.ordered_counter.entry(cid).or_insert(0) += 1;
                 Ok(flow)
             }
@@ -979,12 +999,12 @@ impl<'a> Interp<'a> {
                 }
                 let child = self.next_task_agent;
                 self.next_task_agent += 1;
-                self.emit_sync(EventKind::TaskSpawn { child });
+                self.emit_task_spawn(child);
                 self.pending_tasks.push(child);
                 let saved_agent = self.agent;
                 self.agent = child;
                 let flow = self.with_privatized(dir, |me| me.exec_stmt(body))?;
-                self.emit_sync(EventKind::TaskEnd);
+                self.emit_task_end();
                 self.agent = saved_agent;
                 Ok(flow)
             }
@@ -1160,7 +1180,7 @@ impl<'a> Interp<'a> {
         let children = std::mem::take(&mut self.pending_tasks);
         if !children.is_empty() {
             self.agent = 0;
-            self.emit_sync(EventKind::TaskWait { children });
+            self.emit_task_wait(&children);
         }
         self.phase = end_phase + 1;
         self.in_region = false;

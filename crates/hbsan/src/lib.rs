@@ -13,6 +13,11 @@
 //!
 //! Running multiple seeds (`check_adversarial`) varies worksharing
 //! assignment and single-winner choices like re-running a real binary.
+//! The sweep is parallelized across seeds (`RACELLM_WORKERS` caps the
+//! worker count) and short-circuits when the first run never consulted
+//! the scheduler RNG — static schedules are seed-independent, so one run
+//! already covers every seed. Results are byte-identical to the serial
+//! sweep at any worker count.
 //!
 //! ```
 //! let report = hbsan::check_source(r#"
@@ -36,10 +41,13 @@ pub mod trace;
 pub mod value;
 pub mod vc;
 
-pub use analyze::{analyze, DynRace, DynReport};
+pub use analyze::{analyze, analyze_events, analyze_reference, Analyzer, DynRace, DynReport};
 pub use interp::{run, Config, RtError, RunOutput};
-pub use trace::{Event, EventKind, Site, SyncKey, Trace};
+pub use trace::{Event, EventKind, Op, Site, SiteId, SyncId, SyncKey, Trace};
 pub use vc::{Epoch, VectorClock};
+
+#[cfg(feature = "count-clock-allocs")]
+pub use vc::{clock_counts, reset_clock_counts};
 
 use minic::TranslationUnit;
 
@@ -56,15 +64,44 @@ pub fn check_source(src: &str, cfg: &Config) -> Result<DynReport, Box<dyn std::e
 }
 
 /// Union reports across several seeds (adversarial schedule exploration).
+///
+/// Equivalent to running [`check`] per seed and merging in seed order,
+/// but: (1) if the first run never consulted the scheduler RNG, the
+/// kernel is seed-insensitive and the remaining seeds are skipped — each
+/// would replay the identical trace; (2) otherwise the remaining seeds
+/// run in parallel on [`par::default_workers`] threads. Reports are
+/// merged in seed order and the first error (by seed order) wins, so the
+/// result is independent of the worker count.
 pub fn check_adversarial(
     unit: &TranslationUnit,
     base: &Config,
     seeds: &[u64],
 ) -> Result<DynReport, RtError> {
-    let mut merged = DynReport::default();
-    for &seed in seeds {
-        let cfg = Config { seed, ..base.clone() };
-        merged.merge(check(unit, &cfg)?);
+    check_adversarial_with_workers(unit, base, seeds, par::default_workers())
+}
+
+/// [`check_adversarial`] with an explicit worker count.
+pub fn check_adversarial_with_workers(
+    unit: &TranslationUnit,
+    base: &Config,
+    seeds: &[u64],
+    workers: usize,
+) -> Result<DynReport, RtError> {
+    let Some((&first, rest)) = seeds.split_first() else {
+        return Ok(DynReport::default());
+    };
+    let out = run(unit, &Config { seed: first, ..base.clone() })?;
+    let mut merged = analyze(&out.trace);
+    if !out.schedule_sensitive || rest.is_empty() {
+        // Every seed replays this exact trace; merging identical reports
+        // is the identity, so the sweep is already complete.
+        return Ok(merged);
+    }
+    let results = par::par_map(rest, workers, |&seed| {
+        check(unit, &Config { seed, ..base.clone() })
+    });
+    for r in results {
+        merged.merge(r?);
     }
     Ok(merged)
 }
@@ -256,6 +293,49 @@ int main() {
         let single = check(&unit, &Config::default()).unwrap();
         let multi = check_adversarial(&unit, &Config::default(), &[1, 2, 3]).unwrap();
         assert!(multi.races.len() >= single.races.len());
+    }
+
+    #[test]
+    fn adversarial_sweep_is_worker_count_independent() {
+        let src = "int a[100]; int main() {\n#pragma omp parallel for schedule(dynamic)\nfor (int i=0;i<99;i++) a[i]=a[i+1];\n return 0; }";
+        let unit = minic::parse(src).unwrap();
+        let cfg = Config::default();
+        let seeds = [1u64, 7, 23, 42, 99];
+        let serial = check_adversarial_with_workers(&unit, &cfg, &seeds, 1).unwrap();
+        let parallel = check_adversarial_with_workers(&unit, &cfg, &seeds, 4).unwrap();
+        assert_eq!(serial, parallel);
+        // And both equal the definitionally-serial merge loop.
+        let mut reference = DynReport::default();
+        for &seed in &seeds {
+            reference.merge(check(&unit, &Config { seed, ..cfg.clone() }).unwrap());
+        }
+        assert_eq!(serial, reference);
+    }
+
+    #[test]
+    fn static_schedule_is_seed_insensitive() {
+        // A statically-scheduled kernel never consults the RNG, so the
+        // sweep may stop after one run — verify the flag and that the
+        // short-circuited sweep still equals the full serial merge.
+        let src = "int a[100]; int main() {\n#pragma omp parallel for\nfor (int i=0;i<99;i++) a[i]=a[i+1];\n return 0; }";
+        let unit = minic::parse(src).unwrap();
+        let out = run(&unit, &Config::default()).unwrap();
+        assert!(!out.schedule_sensitive);
+        let seeds = [1u64, 7, 23];
+        let swept = check_adversarial(&unit, &Config::default(), &seeds).unwrap();
+        let mut reference = DynReport::default();
+        for &seed in &seeds {
+            reference.merge(check(&unit, &Config { seed, ..Config::default() }).unwrap());
+        }
+        assert_eq!(swept, reference);
+    }
+
+    #[test]
+    fn dynamic_schedule_is_seed_sensitive() {
+        let src = "int a[100]; int main() {\n#pragma omp parallel for schedule(dynamic)\nfor (int i=0;i<99;i++) a[i]=a[i+1];\n return 0; }";
+        let unit = minic::parse(src).unwrap();
+        let out = run(&unit, &Config::default()).unwrap();
+        assert!(out.schedule_sensitive);
     }
 
     #[test]

@@ -5,33 +5,18 @@
 //! which thread runs each `section`. Varying the seed varies the answers
 //! (like re-running a real program), so the adversarial driver can union
 //! reports over several schedules.
+//!
+//! The scheduler also tracks whether any decision actually *consulted*
+//! the RNG ([`Scheduler::seed_sensitive`]). Static and auto scheduling
+//! are fully deterministic, so a run that never touched the RNG produces
+//! the same trace under every seed — the adversarial sweep uses this to
+//! skip redundant re-runs.
 
 use minic::pragma::ScheduleKind;
 
-/// Splittable 64-bit mix (SplitMix64) — deterministic and dependency-free.
-#[derive(Debug, Clone)]
-pub struct Rng(u64);
-
-impl Rng {
-    /// Seeded generator.
-    pub fn new(seed: u64) -> Self {
-        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `0..n` (n > 0).
-    pub fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-}
+// The shared SplitMix64 generator (one implementation for the whole
+// workspace; this alias keeps the historical `hbsan::sched::Rng` path).
+pub use par::rng::Rng;
 
 /// Scheduling policy for one simulated run.
 #[derive(Debug, Clone)]
@@ -41,12 +26,30 @@ pub struct Scheduler {
     pub threads: usize,
     single_counter: usize,
     section_counter: usize,
+    rng_used: bool,
 }
 
 impl Scheduler {
     /// Create a scheduler for `threads` threads with a seed.
     pub fn new(threads: usize, seed: u64) -> Self {
-        Scheduler { rng: Rng::new(seed), threads: threads.max(1), single_counter: 0, section_counter: 0 }
+        Scheduler {
+            rng: Rng::new(seed),
+            threads: threads.max(1),
+            single_counter: 0,
+            section_counter: 0,
+            rng_used: false,
+        }
+    }
+
+    /// Whether any decision so far consulted the RNG. When false the
+    /// whole run was seed-independent: every seed yields this schedule.
+    pub fn seed_sensitive(&self) -> bool {
+        self.rng_used
+    }
+
+    fn draw(&mut self, n: usize) -> usize {
+        self.rng_used = true;
+        self.rng.below(n)
     }
 
     /// Assign loop iterations `0..n` to threads under `kind`.
@@ -79,7 +82,7 @@ impl Scheduler {
                 let c = chunk.unwrap_or(1).max(1);
                 let mut i = 0;
                 while i < n {
-                    let tid = self.rng.below(t);
+                    let tid = self.draw(t);
                     out[i..(i + c).min(n)].fill(tid);
                     i += c;
                 }
@@ -98,13 +101,13 @@ impl Scheduler {
     pub fn single_winner(&mut self) -> usize {
         self.single_counter += 1;
         // Rotate deterministically; seed variation comes from the rng.
-        (self.single_counter - 1 + self.rng.below(self.threads)) % self.threads
+        (self.single_counter - 1 + self.draw(self.threads)) % self.threads
     }
 
     /// Which thread executes section `idx` of a sections construct.
     pub fn section_owner(&mut self, idx: usize) -> usize {
         self.section_counter += 1;
-        (idx + self.section_counter + self.rng.below(self.threads)) % self.threads
+        (idx + self.section_counter + self.draw(self.threads)) % self.threads
     }
 }
 
@@ -162,5 +165,18 @@ mod tests {
         assert_eq!(s.assign_iterations(5, None, None), vec![0; 5]);
         assert_eq!(s.single_winner(), 0);
         assert_eq!(s.section_owner(3), 0);
+    }
+
+    #[test]
+    fn sensitivity_tracks_rng_use() {
+        let mut s = Scheduler::new(4, 1);
+        s.assign_iterations(16, Some(ScheduleKind::Static), Some(2));
+        s.assign_iterations(16, Some(ScheduleKind::Auto), None);
+        assert!(!s.seed_sensitive(), "static/auto never consult the rng");
+        s.assign_iterations(16, Some(ScheduleKind::Dynamic), None);
+        assert!(s.seed_sensitive());
+        let mut s2 = Scheduler::new(4, 1);
+        s2.single_winner();
+        assert!(s2.seed_sensitive(), "single uses the rng");
     }
 }

@@ -7,8 +7,26 @@
 //! `phase` (stable within a phase), which *is* a legal order, and
 //! happens-before does the rest: races are detected independent of the
 //! specific interleaving the serialization happened to produce.
+//!
+//! # Representation
+//!
+//! A [`Trace`] is a struct-of-arrays buffer: three dense per-event
+//! columns (`agents`, `phases`, `ops`) plus interning tables for the
+//! heavyweight payloads. A [`Site`] (two `String`s + span) is built
+//! *once* per distinct source occurrence and every event referring to it
+//! carries a 4-byte [`SiteId`]; likewise [`SyncKey`]s intern to
+//! [`SyncId`]s and variable names to dense var ids. The hot recording
+//! path therefore allocates nothing per event — the old representation
+//! cloned two `String`s per memory access, which dominated replay at
+//! corpus scale.
+//!
+//! The expanded [`Event`]/[`EventKind`] form is kept for construction
+//! ergonomics ([`Trace::from_events`]) and as the reference
+//! representation for differential testing and pre-interning cost
+//! modeling ([`Trace::to_events`]).
 
 use minic::span::Span;
+use par::hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 /// Where an access happened, for reporting.
@@ -48,7 +66,7 @@ pub enum SyncKey {
     Ordered(usize),
 }
 
-/// What happened.
+/// What happened (expanded form; see [`Op`] for the interned form).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EventKind {
     /// A memory access at `addr`.
@@ -78,7 +96,7 @@ pub enum EventKind {
     },
 }
 
-/// One trace event: agent + barrier phase + payload.
+/// One trace event in expanded form: agent + barrier phase + payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Event {
     /// Executing agent (thread id or task agent id).
@@ -89,11 +107,437 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// Dense index into a trace's site table.
+pub type SiteId = u32;
+
+/// Dense index into a trace's sync-object table.
+pub type SyncId = u32;
+
+/// One interned event payload — `Copy`, no heap data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// A memory access at `addr` (write/atomic flags mirrored out of the
+    /// site so the analyzer's hot loop never touches the site table).
+    Access {
+        /// Heap address.
+        addr: usize,
+        /// Interned reporting site.
+        site: SiteId,
+        /// Whether the access is a write.
+        write: bool,
+        /// Whether the access is protected by `omp atomic`.
+        atomic: bool,
+    },
+    /// Mutex acquisition.
+    Acquire(SyncId),
+    /// Mutex release.
+    Release(SyncId),
+    /// A new task agent begins.
+    TaskSpawn {
+        /// The new task agent.
+        child: usize,
+    },
+    /// A task agent finished.
+    TaskEnd,
+    /// `taskwait` over `wait_pool[start..start + len]`.
+    TaskWait {
+        /// Offset into the children pool.
+        start: u32,
+        /// Number of awaited children.
+        len: u32,
+    },
+}
+
 /// A complete trace plus the thread-agent count (task agents follow).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
-    /// Events in simulation order.
-    pub events: Vec<Event>,
+    // Struct-of-arrays event columns.
+    agents: Vec<u32>,
+    phases: Vec<u32>,
+    ops: Vec<Op>,
+    // Interning tables.
+    sites: Vec<Site>,
+    site_vars: Vec<u32>,
+    var_names: Vec<String>,
+    sync_keys: Vec<SyncKey>,
+    wait_pool: Vec<u32>,
+    // Build-time indexes.
+    site_index: FxHashMap<(u64, u64), SiteId>,
+    var_index: FxHashMap<String, u32>,
+    sync_index: FxHashMap<SyncKey, SyncId>,
+    // Bounds the analyzer sizes its dense state from.
+    max_addr: usize,
+    max_agent: usize,
+    max_phase: u32,
     /// Number of *thread* agents (agents `0..threads` join at barriers).
     pub threads: usize,
+}
+
+/// Pack a span + direction into the interning key. Spans are compared in
+/// full (byte range *and* line/column) so synthesized sites that share a
+/// byte range but differ in position — common in handwritten test
+/// traces — never collide.
+fn site_key(span: Span, write: bool) -> (u64, u64) {
+    (
+        ((span.start as u64) << 32) | span.end as u64,
+        ((span.pos.line as u64) << 32) | ((span.pos.col as u64) << 1) | write as u64,
+    )
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Build a trace from expanded events (test/compat path; the
+    /// interpreter records through the interning API directly).
+    pub fn from_events<I: IntoIterator<Item = Event>>(events: I, threads: usize) -> Self {
+        let mut t = Trace::new();
+        for ev in events {
+            t.push_event(ev);
+        }
+        t.threads = threads;
+        t
+    }
+
+    /// Append one expanded event.
+    pub fn push_event(&mut self, ev: Event) {
+        let Event { agent, phase, kind } = ev;
+        match kind {
+            EventKind::Access { addr, atomic, site } => {
+                let write = site.write;
+                let sid = self.intern_site(site.span, write, || (site.var, site.text));
+                self.push_access_flags(agent, phase, addr, sid, write, atomic);
+            }
+            EventKind::Acquire(key) => {
+                let sid = self.intern_sync(&key);
+                self.push_acquire(agent, phase, sid);
+            }
+            EventKind::Release(key) => {
+                let sid = self.intern_sync(&key);
+                self.push_release(agent, phase, sid);
+            }
+            EventKind::TaskSpawn { child } => self.push_task_spawn(agent, phase, child),
+            EventKind::TaskEnd => self.push_task_end(agent, phase),
+            EventKind::TaskWait { children } => self.push_task_wait(agent, phase, &children),
+        }
+    }
+
+    /// Reconstruct the expanded event list (differential baseline and
+    /// pre-interning cost modeling; allocates per event by design).
+    pub fn to_events(&self) -> Vec<Event> {
+        (0..self.len())
+            .map(|i| Event {
+                agent: self.agents[i] as usize,
+                phase: self.phases[i],
+                kind: match self.ops[i] {
+                    Op::Access { addr, site, atomic, .. } => EventKind::Access {
+                        addr,
+                        atomic,
+                        site: self.sites[site as usize].clone(),
+                    },
+                    Op::Acquire(s) => EventKind::Acquire(self.sync_keys[s as usize].clone()),
+                    Op::Release(s) => EventKind::Release(self.sync_keys[s as usize].clone()),
+                    Op::TaskSpawn { child } => EventKind::TaskSpawn { child },
+                    Op::TaskEnd => EventKind::TaskEnd,
+                    Op::TaskWait { start, len } => EventKind::TaskWait {
+                        children: self.wait_children(start, len)
+                            .iter()
+                            .map(|&c| c as usize)
+                            .collect(),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Interning
+    // ------------------------------------------------------------------
+
+    /// Get or create the [`SiteId`] for `(span, write)`. `make` supplies
+    /// `(var, text)` and runs only on the first occurrence — callers on
+    /// the hot path defer their `String` construction into it.
+    pub fn intern_site(
+        &mut self,
+        span: Span,
+        write: bool,
+        make: impl FnOnce() -> (String, String),
+    ) -> SiteId {
+        let key = site_key(span, write);
+        if let Some(&id) = self.site_index.get(&key) {
+            return id;
+        }
+        let (var, text) = make();
+        let var_id = self.intern_var(var);
+        let id = self.sites.len() as SiteId;
+        self.sites.push(Site { var: self.var_names[var_id as usize].clone(), text, span, write });
+        self.site_vars.push(var_id);
+        self.site_index.insert(key, id);
+        id
+    }
+
+    fn intern_var(&mut self, name: String) -> u32 {
+        if let Some(&id) = self.var_index.get(&name) {
+            return id;
+        }
+        let id = self.var_names.len() as u32;
+        self.var_index.insert(name.clone(), id);
+        self.var_names.push(name);
+        id
+    }
+
+    /// Get or create the [`SyncId`] for a sync object.
+    pub fn intern_sync(&mut self, key: &SyncKey) -> SyncId {
+        if let Some(&id) = self.sync_index.get(key) {
+            return id;
+        }
+        let id = self.sync_keys.len() as SyncId;
+        self.sync_keys.push(key.clone());
+        self.sync_index.insert(key.clone(), id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Recording
+    // ------------------------------------------------------------------
+
+    fn push_raw(&mut self, agent: usize, phase: u32, op: Op) {
+        self.agents.push(agent as u32);
+        self.phases.push(phase);
+        self.ops.push(op);
+        self.max_agent = self.max_agent.max(agent);
+        self.max_phase = self.max_phase.max(phase);
+    }
+
+    /// Record a memory access (write/atomic flags supplied explicitly).
+    pub fn push_access_flags(
+        &mut self,
+        agent: usize,
+        phase: u32,
+        addr: usize,
+        site: SiteId,
+        write: bool,
+        atomic: bool,
+    ) {
+        self.max_addr = self.max_addr.max(addr);
+        self.push_raw(agent, phase, Op::Access { addr, site, write, atomic });
+    }
+
+    /// Record a memory access whose direction comes from the site.
+    pub fn push_access(&mut self, agent: usize, phase: u32, addr: usize, site: SiteId, atomic: bool) {
+        let write = self.sites[site as usize].write;
+        self.push_access_flags(agent, phase, addr, site, write, atomic);
+    }
+
+    /// Record a mutex acquisition.
+    pub fn push_acquire(&mut self, agent: usize, phase: u32, sync: SyncId) {
+        self.push_raw(agent, phase, Op::Acquire(sync));
+    }
+
+    /// Record a mutex release.
+    pub fn push_release(&mut self, agent: usize, phase: u32, sync: SyncId) {
+        self.push_raw(agent, phase, Op::Release(sync));
+    }
+
+    /// Record a task spawn.
+    pub fn push_task_spawn(&mut self, agent: usize, phase: u32, child: usize) {
+        self.max_agent = self.max_agent.max(child);
+        self.push_raw(agent, phase, Op::TaskSpawn { child });
+    }
+
+    /// Record a task completion (emitted under the child agent).
+    pub fn push_task_end(&mut self, agent: usize, phase: u32) {
+        self.push_raw(agent, phase, Op::TaskEnd);
+    }
+
+    /// Record a `taskwait` joining `children`.
+    pub fn push_task_wait(&mut self, agent: usize, phase: u32, children: &[usize]) {
+        let start = self.wait_pool.len() as u32;
+        for &c in children {
+            self.max_agent = self.max_agent.max(c);
+            self.wait_pool.push(c as u32);
+        }
+        self.push_raw(agent, phase, Op::TaskWait { start, len: children.len() as u32 });
+    }
+
+    // ------------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------------
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Per-event agent column.
+    pub fn agents(&self) -> &[u32] {
+        &self.agents
+    }
+
+    /// Per-event barrier-phase column.
+    pub fn phases(&self) -> &[u32] {
+        &self.phases
+    }
+
+    /// Per-event payload column.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Interned site table entry.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id as usize]
+    }
+
+    /// Dense variable id of a site's root variable.
+    pub fn site_var(&self, id: SiteId) -> u32 {
+        self.site_vars[id as usize]
+    }
+
+    /// Root-variable name of a site (no allocation).
+    pub fn site_var_name(&self, id: SiteId) -> &str {
+        &self.var_names[self.site_vars[id as usize] as usize]
+    }
+
+    /// Interned sync-object table entry.
+    pub fn sync_key(&self, id: SyncId) -> &SyncKey {
+        &self.sync_keys[id as usize]
+    }
+
+    /// Children of a `taskwait` op.
+    pub fn wait_children(&self, start: u32, len: u32) -> &[u32] {
+        &self.wait_pool[start as usize..(start + len) as usize]
+    }
+
+    /// Number of distinct interned sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of distinct interned sync objects.
+    pub fn num_syncs(&self) -> usize {
+        self.sync_keys.len()
+    }
+
+    /// Largest heap address accessed (0 when no accesses).
+    pub fn max_addr(&self) -> usize {
+        self.max_addr
+    }
+
+    /// Largest agent id mentioned anywhere in the trace.
+    pub fn max_agent(&self) -> usize {
+        self.max_agent
+    }
+
+    /// Largest barrier phase recorded.
+    pub fn max_phase(&self) -> u32 {
+        self.max_phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::Pos;
+
+    fn site(var: &str, line: u32, write: bool) -> Site {
+        Site {
+            var: var.into(),
+            text: format!("{var}[i]"),
+            span: Span::new(0, 1, Pos::new(line, 1)),
+            write,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_events() {
+        let events = vec![
+            Event {
+                agent: 0,
+                phase: 1,
+                kind: EventKind::Access { addr: 10, atomic: false, site: site("a", 5, true) },
+            },
+            Event { agent: 1, phase: 1, kind: EventKind::Acquire(SyncKey::Critical("c".into())) },
+            Event { agent: 1, phase: 1, kind: EventKind::Release(SyncKey::Critical("c".into())) },
+            Event { agent: 0, phase: 1, kind: EventKind::TaskSpawn { child: 16 } },
+            Event { agent: 16, phase: 1, kind: EventKind::TaskEnd },
+            Event { agent: 0, phase: 1, kind: EventKind::TaskWait { children: vec![16] } },
+            Event {
+                agent: 16,
+                phase: 2,
+                kind: EventKind::Access { addr: 11, atomic: true, site: site("a", 5, false) },
+            },
+        ];
+        let trace = Trace::from_events(events.clone(), 2);
+        assert_eq!(trace.len(), events.len());
+        assert_eq!(trace.threads, 2);
+        assert_eq!(trace.to_events(), events);
+        assert_eq!(trace.max_agent(), 16);
+        assert_eq!(trace.max_addr(), 11);
+        assert_eq!(trace.max_phase(), 2);
+    }
+
+    #[test]
+    fn sites_and_syncs_are_interned_once() {
+        let a_w = site("a", 5, true);
+        let a_r = site("a", 5, false);
+        let key = SyncKey::Critical("c".into());
+        let mut events = Vec::new();
+        for i in 0..100 {
+            events.push(Event {
+                agent: i % 2,
+                phase: 1,
+                kind: EventKind::Access { addr: i, atomic: false, site: a_w.clone() },
+            });
+            events.push(Event {
+                agent: i % 2,
+                phase: 1,
+                kind: EventKind::Access { addr: i, atomic: false, site: a_r.clone() },
+            });
+            events.push(Event { agent: i % 2, phase: 1, kind: EventKind::Acquire(key.clone()) });
+            events.push(Event { agent: i % 2, phase: 1, kind: EventKind::Release(key.clone()) });
+        }
+        let trace = Trace::from_events(events, 2);
+        assert_eq!(trace.len(), 400);
+        assert_eq!(trace.num_sites(), 2, "one site per (span, direction)");
+        assert_eq!(trace.num_syncs(), 1);
+        assert_eq!(trace.site_var_name(0), "a");
+        assert_eq!(trace.site_var(0), trace.site_var(1), "same root variable id");
+    }
+
+    #[test]
+    fn same_range_different_position_sites_stay_distinct() {
+        // Handwritten traces synthesize spans that differ only in
+        // line/column; the interner must keep them apart.
+        let s1 = site("x", 5, true);
+        let s2 = site("x", 9, true);
+        let trace = Trace::from_events(
+            vec![
+                Event { agent: 0, phase: 1, kind: EventKind::Access { addr: 1, atomic: false, site: s1.clone() } },
+                Event { agent: 1, phase: 1, kind: EventKind::Access { addr: 1, atomic: false, site: s2.clone() } },
+            ],
+            2,
+        );
+        assert_eq!(trace.num_sites(), 2);
+        assert_eq!(trace.site(0), &s1);
+        assert_eq!(trace.site(1), &s2);
+    }
+
+    #[test]
+    fn lazy_site_construction_skipped_on_hit() {
+        let mut trace = Trace::new();
+        let span = Span::new(3, 7, Pos::new(2, 4));
+        let first = trace.intern_site(span, true, || ("v".into(), "v[i]".into()));
+        let second = trace.intern_site(span, true, || panic!("must not rebuild on hit"));
+        assert_eq!(first, second);
+        let read = trace.intern_site(span, false, || ("v".into(), "v".into()));
+        assert_ne!(first, read, "direction is part of the key");
+    }
 }

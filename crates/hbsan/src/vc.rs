@@ -4,15 +4,51 @@
 //! indices; a [`VectorClock`] maps each agent to its logical time. The
 //! partial order `≤` (pointwise) is the happens-before relation the
 //! analyzer checks accesses against, FastTrack-style.
+//!
+//! With the `count-clock-allocs` feature, two global counters record
+//! how many clock materializations ([`VectorClock::clone`]) and full
+//! pointwise comparisons ([`VectorClock::le`]) happen — the epoch-path
+//! analyzer must perform *zero* of either per access, which
+//! `tests/clock_allocs.rs` asserts against a race-free kernel.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
+#[cfg(feature = "count-clock-allocs")]
+mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static CLOCK_ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static CLOCK_COMPARES: AtomicU64 = AtomicU64::new(0);
+
+    /// `(clones, full pointwise comparisons)` since the last reset.
+    pub fn clock_counts() -> (u64, u64) {
+        (CLOCK_ALLOCS.load(Ordering::Relaxed), CLOCK_COMPARES.load(Ordering::Relaxed))
+    }
+
+    /// Zero both counters.
+    pub fn reset_clock_counts() {
+        CLOCK_ALLOCS.store(0, Ordering::Relaxed);
+        CLOCK_COMPARES.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(feature = "count-clock-allocs")]
+pub use counters::{clock_counts, reset_clock_counts};
+
 /// A grow-on-demand vector clock.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VectorClock {
     clocks: Vec<u32>,
+}
+
+impl Clone for VectorClock {
+    fn clone(&self) -> Self {
+        #[cfg(feature = "count-clock-allocs")]
+        counters::CLOCK_ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        VectorClock { clocks: self.clocks.clone() }
+    }
 }
 
 impl VectorClock {
@@ -41,6 +77,18 @@ impl VectorClock {
         v
     }
 
+    /// Reset to the zero clock, keeping the allocation (pool reuse).
+    pub fn clear(&mut self) {
+        self.clocks.clear();
+    }
+
+    /// Become a copy of `other`, reusing this clock's allocation — the
+    /// pool-friendly alternative to `clone`.
+    pub fn copy_from(&mut self, other: &VectorClock) {
+        self.clocks.clear();
+        self.clocks.extend_from_slice(&other.clocks);
+    }
+
     /// Pointwise maximum with `other` (release/acquire join).
     pub fn join(&mut self, other: &VectorClock) {
         if self.clocks.len() < other.clocks.len() {
@@ -55,6 +103,8 @@ impl VectorClock {
 
     /// Whether `self ≤ other` pointwise (self happens-before-or-equals).
     pub fn le(&self, other: &VectorClock) -> bool {
+        #[cfg(feature = "count-clock-allocs")]
+        counters::CLOCK_COMPARES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.clocks
             .iter()
             .enumerate()
@@ -186,6 +236,20 @@ mod tests {
         assert!(Epoch { agent: 1, clock: 2 }.covered_by(&vc));
         assert!(!Epoch { agent: 1, clock: 4 }.covered_by(&vc));
         assert!(!Epoch { agent: 0, clock: 1 }.covered_by(&vc));
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(5, 9);
+        let mut pooled = VectorClock::new();
+        pooled.set(7, 1); // stale contents must be fully replaced
+        pooled.copy_from(&a);
+        assert_eq!(pooled, a.clone());
+        assert_eq!(pooled.get(7), 0);
+        pooled.clear();
+        assert!(pooled.is_empty());
     }
 
     // Partial-order laws are property-tested in tests/ of this crate.

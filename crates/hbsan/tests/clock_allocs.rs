@@ -1,0 +1,62 @@
+//! Asserts the epoch fast path's core claim with instrumented clocks:
+//! analyzing a trace performs **zero** `VectorClock` clones and zero
+//! full pointwise comparisons, while the reference path pays per access.
+//!
+//! Run with `cargo test -p hbsan --features count-clock-allocs`.
+//! The counters are process-global, so these tests serialize on a mutex
+//! (the default test harness runs them on multiple threads).
+
+#![cfg(feature = "count-clock-allocs")]
+
+use hbsan::{analyze, analyze_reference, clock_counts, reset_clock_counts, Config};
+use std::sync::Mutex;
+
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+const RACE_FREE_KERNEL: &str = r#"
+int a[256];
+int main(void)
+{
+  #pragma omp parallel for
+  for (int i = 0; i < 256; i++)
+    a[i] = a[i] * 2 + 1;
+  return 0;
+}
+"#;
+
+#[test]
+fn epoch_path_performs_no_clock_clones_or_full_compares() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let unit = minic::parse(RACE_FREE_KERNEL).unwrap();
+    let out = hbsan::run(&unit, &Config::default()).unwrap();
+    assert!(!out.trace.is_empty());
+
+    reset_clock_counts();
+    let report = analyze(&out.trace);
+    let (clones, compares) = clock_counts();
+    assert!(!report.has_race());
+    assert_eq!(compares, 0, "epoch path must never compare full clocks");
+    assert_eq!(clones, 0, "epoch path must never clone clocks (pool + copy_from only)");
+}
+
+#[test]
+fn reference_path_clones_per_access() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let unit = minic::parse(RACE_FREE_KERNEL).unwrap();
+    let out = hbsan::run(&unit, &Config::default()).unwrap();
+    let accesses = out
+        .trace
+        .ops()
+        .iter()
+        .filter(|op| matches!(op, hbsan::Op::Access { .. }))
+        .count() as u64;
+
+    reset_clock_counts();
+    let report = analyze_reference(&out.trace);
+    let (clones, _) = clock_counts();
+    assert!(!report.has_race());
+    assert!(
+        clones >= accesses,
+        "reference path clones at least one clock per access ({clones} < {accesses})"
+    );
+}

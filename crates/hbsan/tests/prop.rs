@@ -1,8 +1,12 @@
 //! Property tests: vector-clock lattice laws, happens-before soundness
-//! (traces with full ordering produce no race reports), and analyzer
-//! robustness on random traces.
+//! (traces with full ordering produce no race reports), analyzer
+//! robustness on random traces, and differential equivalence of the
+//! epoch fast path against the reference full-vector-clock analyzer.
 
-use hbsan::{analyze, Epoch, Event, EventKind, Site, SyncKey, Trace, VectorClock};
+use hbsan::{
+    analyze, analyze_events, analyze_reference, Epoch, Event, EventKind, Site, SyncKey, Trace,
+    VectorClock,
+};
 use minic::{Pos, Span};
 use proptest::prelude::*;
 
@@ -25,6 +29,44 @@ fn site(var: &str, line: u32, write: bool) -> Site {
 
 fn access(agent: usize, phase: u32, addr: usize, write: bool, line: u32) -> Event {
     Event { agent, phase, kind: EventKind::Access { addr, atomic: false, site: site("v", line, write) } }
+}
+
+/// Epoch path and reference path must produce the *same report* — same
+/// races, same order — on every trace, not just the same verdict.
+fn analyze_differential(events: Vec<Event>, threads: usize) -> hbsan::DynReport {
+    let trace = Trace::from_events(events, threads);
+    let epoch = analyze(&trace);
+    let reference = analyze_reference(&trace);
+    assert_eq!(epoch, reference, "epoch path diverged from reference analyzer");
+    epoch
+}
+
+/// Random event soup covering accesses, locks, and tasks.
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(
+        // Accesses dominate (selector 0..5), as in real traces; the rest
+        // of the selector range picks sync/task events.
+        (0usize..40, 0usize..5, 1u32..4, 0usize..6, any::<bool>(), any::<bool>())
+            .prop_map(|(sel, agent, phase, addr, w, atomic)| {
+                let (pick, aux) = (sel % 10, sel / 10);
+                let kind = match pick {
+                    0..=4 => EventKind::Access {
+                        addr,
+                        atomic,
+                        // A small pool of sites so dedup paths get exercised.
+                        site: site("r", aux as u32 + 1, w),
+                    },
+                    5 => EventKind::Acquire(SyncKey::Lock(aux % 2)),
+                    6 => EventKind::Release(SyncKey::Lock(aux % 2)),
+                    7 => EventKind::TaskSpawn { child: 16 + aux },
+                    8 => EventKind::TaskEnd,
+                    _ => EventKind::TaskWait { children: vec![16 + aux] },
+                };
+                let agent = if matches!(kind, EventKind::TaskEnd) { 16 + aux } else { agent };
+                Event { agent, phase, kind }
+            }),
+        0..80,
+    )
 }
 
 proptest! {
@@ -77,7 +119,7 @@ proptest! {
         prop_assert_eq!(Epoch { agent, clock: clk }.covered_by(&a), clk <= a.get(agent));
     }
 
-    // ---- analyzer soundness ----
+    // ---- analyzer soundness (each case also differential) ----
 
     #[test]
     fn single_agent_traces_are_race_free(
@@ -89,7 +131,7 @@ proptest! {
             .enumerate()
             .map(|(i, &(addr, w))| access(0, 1, addr, w, i as u32 + 1))
             .collect();
-        let report = analyze(&Trace { events, threads: 2 });
+        let report = analyze_differential(events, 2);
         prop_assert!(!report.has_race());
     }
 
@@ -105,7 +147,7 @@ proptest! {
             .collect();
         let mut sorted = events;
         sorted.sort_by_key(|e| e.phase);
-        let report = analyze(&Trace { events: sorted, threads: 3 });
+        let report = analyze_differential(sorted, 3);
         prop_assert!(!report.has_race());
     }
 
@@ -121,7 +163,7 @@ proptest! {
             events.push(access(agent, 1, 7, w, i as u32 + 1));
             events.push(Event { agent, phase: 1, kind: EventKind::Release(key.clone()) });
         }
-        let report = analyze(&Trace { events, threads: 3 });
+        let report = analyze_differential(events, 3);
         prop_assert!(!report.has_race());
     }
 
@@ -129,7 +171,7 @@ proptest! {
     fn two_unordered_writes_always_race(a1 in 0usize..3, a2 in 0usize..3) {
         prop_assume!(a1 != a2);
         let events = vec![access(a1, 1, 9, true, 1), access(a2, 1, 9, true, 2)];
-        let report = analyze(&Trace { events, threads: 3 });
+        let report = analyze_differential(events, 3);
         prop_assert!(report.has_race());
     }
 
@@ -150,7 +192,48 @@ proptest! {
                 },
             })
             .collect();
-        let _ = analyze(&Trace { events, threads: 4 });
+        let _ = analyze_differential(events, 4);
+    }
+
+    // ---- differential: fuzzed event soups ----
+
+    #[test]
+    fn epoch_path_matches_reference_on_fuzzed_traces(events in arb_events()) {
+        // No property of the report is asserted here beyond the paths
+        // agreeing — the soup includes lock/task torn pairings that real
+        // traces never produce, which is exactly the point.
+        let _ = analyze_differential(events, 5);
+    }
+
+    #[test]
+    fn trace_roundtrips_through_events(events in arb_events()) {
+        let trace = Trace::from_events(events.clone(), 5);
+        prop_assert_eq!(trace.to_events(), events);
+    }
+
+    // ---- differential: fuzzed programs × schedule seeds ----
+
+    #[test]
+    fn epoch_path_matches_reference_on_generated_kernels(
+        n in 4u32..32,
+        stride in 0u32..3,
+        seed in 1u64..50,
+        dynamic in any::<bool>(),
+    ) {
+        // Kernels race for stride > 0 (neighbor access) and are clean for
+        // stride == 0; both paths must agree on the full report either way.
+        let sched = if dynamic { " schedule(dynamic, 2)" } else { "" };
+        let src = format!(
+            "int a[{m}];\nint main(void)\n{{\n  #pragma omp parallel for{sched}\n  for (int i = 0; i < {n}; i++)\n    a[i] = a[i + {stride}] + 1;\n  return 0;\n}}\n",
+            m = n + stride,
+        );
+        let unit = minic::parse(&src).unwrap();
+        let cfg = hbsan::Config { seed, ..hbsan::Config::default() };
+        let out = hbsan::run(&unit, &cfg).unwrap();
+        let epoch = analyze(&out.trace);
+        let reference = analyze_events(&out.trace.to_events(), out.trace.threads);
+        prop_assert_eq!(&epoch, &reference);
+        prop_assert_eq!(epoch.pair_signatures(), reference.pair_signatures());
     }
 
     // ---- interpreter determinism over generated kernels ----
@@ -165,6 +248,7 @@ proptest! {
         let o1 = hbsan::run(&unit, &cfg).unwrap();
         let o2 = hbsan::run(&unit, &cfg).unwrap();
         prop_assert_eq!(o1.exit, o2.exit);
+        prop_assert_eq!(o1.trace, o2.trace);
         let expected: i64 = (0..n as i64).map(|i| i * mult).sum();
         prop_assert_eq!(o1.exit, Some(expected));
     }

@@ -24,16 +24,16 @@ pub struct KernelInfo {
     pub difficulty: f64,
 }
 
-/// SplitMix64-based deterministic jitter in [0, 1).
+/// SplitMix64-based deterministic jitter in [0, 1), built from the
+/// shared mixing primitives in `par` (stream-identical to the former
+/// inline implementation, so frozen decision tables don't shift).
 pub fn jitter(model: ModelKind, salt: u64, id: u32) -> f64 {
-    let mut x = (model as u64 + 1)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+    use par::rng::{mix64, unit_f64, GOLDEN, MIX1};
+    let x = (model as u64 + 1)
+        .wrapping_mul(GOLDEN)
+        .wrapping_add(salt.wrapping_mul(MIX1))
         .wrapping_add(id as u64);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
-    (x >> 11) as f64 / (1u64 << 53) as f64
+    unit_f64(mix64(x))
 }
 
 fn salt_of(prompt: PromptStrategy) -> u64 {

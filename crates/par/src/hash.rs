@@ -1,0 +1,110 @@
+//! FxHash-style multiplicative hashing for hot interning tables.
+//!
+//! The trace interner hashes millions of small keys (packed spans,
+//! variable names) per corpus sweep; SipHash's keyed security is pure
+//! overhead there. This is the classic Firefox/rustc folding hash: fold
+//! each word in with a rotate + xor + multiply. Not DoS-resistant — use
+//! only on trusted, internally-generated keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The folding hasher. Implements `Hasher` so it drops into any
+/// `HashMap` via [`FxBuildHasher`].
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for plugging [`FxHasher`] into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the folding hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the folding hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m[&i.wrapping_mul(0x9E37_79B9_7F4A_7C15)], i as usize);
+        }
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("alpha".into(), 1);
+        m.insert("beta".into(), 2);
+        assert_eq!(m.get("alpha"), Some(&1));
+        assert_eq!(m.get("beta"), Some(&2));
+        assert_eq!(m.get("gamma"), None);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_ne!(b.hash_one(42u64), b.hash_one(43u64));
+    }
+}

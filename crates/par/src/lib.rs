@@ -1,0 +1,160 @@
+//! `par` — the workspace's shared concurrency-and-determinism substrate.
+//!
+//! Three tiny, dependency-free pieces that every sweep layer needs:
+//!
+//! 1. [`par_map`] — a chunked work-stealing parallel map built on
+//!    `std::thread::scope`, order-preserving and deterministic in its
+//!    output regardless of worker count;
+//! 2. [`rng`] — the single SplitMix64 implementation (previously
+//!    copy-pasted into four crates) plus its stateless mixing helpers;
+//! 3. [`hash`] — an FxHash-style multiplicative hasher for hot interning
+//!    tables where SipHash's DoS resistance is wasted cost.
+//!
+//! `eval` re-exports [`par_map`]/[`default_workers`] so existing callers
+//! keep working; `hbsan`, `drb-gen`, `finetune`, and `llm` consume the
+//! [`rng`] module through thin re-exports.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod rng;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel map preserving input order.
+///
+/// Model × prompt × kernel sweeps and schedule-seed sweeps are
+/// embarrassingly parallel; this helper fans work out over a small pool
+/// with an atomic chunk index (dynamic scheduling — exactly the
+/// construct the corpus studies). Each worker claims chunks of indices,
+/// collects `(index, value)` pairs into its own local buffer, and the
+/// results are scattered into the output vector after all workers join —
+/// no per-slot locking and no `Default + Clone` bound on the payload.
+pub fn par_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    // Chunked claiming: large enough to avoid contention on the atomic,
+    // small enough that uneven per-item cost still balances (~8 chunks
+    // per worker).
+    let chunk = (n / (workers * 8)).max(1);
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::with_capacity(n / workers + 1);
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            local.push((i, f(item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    // Scatter: every index appears exactly once across the buffers.
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for buf in &mut collected {
+        for (i, v) in buf.drain(..) {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index filled"))
+        .collect()
+}
+
+/// Reasonable worker count for sweeps.
+///
+/// Defaults to `available_parallelism` capped at 16; the
+/// `RACELLM_WORKERS` environment variable overrides it (clamped to ≥1)
+/// so benches and CI can pin parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("RACELLM_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&items, 8, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let items: Vec<u64> = (0..100).collect();
+        let a = par_map(&items, 1, |x| x + 7);
+        let b = par_map(&items, 8, |x| x + 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = vec![];
+        let out: Vec<u64> = par_map(&items, 4, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    /// Payload with no `Default` and no `Clone`: the old slot scheme
+    /// required both; the collect-and-scatter scheme requires neither.
+    #[test]
+    fn non_default_payload() {
+        #[derive(Debug, PartialEq)]
+        struct Opaque(String);
+
+        let items: Vec<u32> = (0..97).collect();
+        let out = par_map(&items, 5, |x| Opaque(format!("v{x}")));
+        assert_eq!(out.len(), 97);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, Opaque(format!("v{i}")));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let items: Vec<u64> = (0..3).collect();
+        let out = par_map(&items, 64, |x| x + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn workers_env_override_clamps() {
+        // Serialized with other env-reading tests by test-threads?  No:
+        // use a scoped set/unset to avoid cross-test interference.
+        std::env::set_var("RACELLM_WORKERS", "0");
+        assert_eq!(default_workers(), 1, "clamped to >= 1");
+        std::env::set_var("RACELLM_WORKERS", "3");
+        assert_eq!(default_workers(), 3);
+        std::env::remove_var("RACELLM_WORKERS");
+        assert!(default_workers() >= 1);
+    }
+}

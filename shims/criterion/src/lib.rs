@@ -14,6 +14,14 @@ pub use std::hint::black_box;
 /// Per-benchmark time budget: stop sampling past this point.
 const TIME_BUDGET: Duration = Duration::from_secs(3);
 
+/// Smoke mode (`cargo bench -- --test`): run every routine exactly once
+/// to prove it executes, skipping measurement. Mirrors real criterion's
+/// `--test` flag so CI can exercise benches cheaply.
+fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 /// Top-level harness handle.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -66,7 +74,13 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
-        let mut b = Bencher { samples: Vec::new(), target: self.sample_size };
+        if smoke_mode() {
+            let mut b = Bencher { samples: Vec::new(), target: 1, smoke: true };
+            routine(&mut b);
+            println!("  {label}: ok (smoke)");
+            return;
+        }
+        let mut b = Bencher { samples: Vec::new(), target: self.sample_size, smoke: false };
         let start = Instant::now();
         while b.samples.len() < b.target && start.elapsed() < TIME_BUDGET {
             routine(&mut b);
@@ -100,12 +114,20 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     target: usize,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Time one execution of `f` per call (the harness decides how many
     /// samples to collect).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            // Smoke mode: a single unmeasured execution proves the
+            // routine runs without skewing any report.
+            black_box(f());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
         // Warmup once per routine invocation if this is the first sample.
         if self.samples.is_empty() {
             black_box(f());
