@@ -4,8 +4,10 @@
 //!   cargo run --release -p bench --bin tables              # all tables
 //!   cargo run --release -p bench --bin tables -- table3    # one table
 //!   cargo run --release -p bench --bin tables -- --json    # machine-readable
-//!   cargo run --release -p bench --bin tables -- --bench-json [path]
-//!       time the dynamic-oracle stages and write BENCH_oracle.json
+//!   cargo run --release -p bench --bin tables -- --bench-json [oracle|finetune|all] [path]
+//!       time the dynamic-oracle / fine-tuning stages and write
+//!       BENCH_oracle.json / BENCH_finetune.json (a bare path after
+//!       --bench-json keeps the historical oracle-only behaviour)
 
 use eval::{format_cv_table, format_detection_table};
 use llm::calibration::paper;
@@ -214,11 +216,91 @@ fn write_bench_json(path: &str) {
     println!("wrote {path}");
 }
 
+/// Time a full Table 4 + Table 6 cross-validation run through three
+/// configurations and write the measurements as JSON:
+///
+/// * `pre_pr_serial` — the old fine-tuning path: per-fold cloned
+///   training sets, two uncached surrogate predictions per kernel, the
+///   allocating two-optimizer trainer, and a separate training run for
+///   each table.
+/// * `fast_serial` — the shipping path pinned to 1 worker: memoized
+///   predictions, scratch-buffer training, one fused Adam, and one
+///   adapter per (model, fold) shared by both tables.
+/// * `fast_parallel` — the same, fanned over `default_workers()`.
+///
+/// The three configurations must agree row-for-row (the equivalence
+/// tests prove byte-identical JSON; this asserts it again on the
+/// measured runs).
+fn write_bench_finetune_json(path: &str) {
+    // Shared state (views, artifacts, surrogate calibration) is built
+    // once here so the timings below measure the CV work itself.
+    let _ = eval::corpus_surrogates();
+    let workers = eval::default_workers();
+
+    let time = |f: &dyn Fn() -> (Vec<eval::CvRow>, Vec<eval::CvRow>)| {
+        // One warmup pass, then best-of-3 to damp scheduler noise.
+        let rows = f();
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            assert_eq!(f(), rows, "table rows must not vary across passes");
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (rows, best)
+    };
+
+    let (rows_pre, pre_pr_serial) =
+        time(&|| (eval::table4_serial_reference(), eval::table6_serial_reference()));
+    let (rows_fast1, fast_serial) = time(&|| eval::cv_tables_with_workers(1));
+    let (rows_fastn, fast_parallel) = time(&|| eval::cv_tables_with_workers(workers));
+    assert_eq!(rows_pre, rows_fast1, "fast serial path changed a table cell");
+    assert_eq!(rows_fast1, rows_fastn, "worker count changed a table cell");
+
+    let out = serde_json::json!({
+        "bench": "finetune_cv_tables",
+        "tables": vec!["table4", "table6"],
+        "models": vec!["SC", "LM"],
+        "folds": 5,
+        "adapter_trainings_per_run": serde_json::json!({
+            "pre_pr_serial": 20,
+            "fast": 10,
+        }),
+        "workers": workers,
+        "seconds": serde_json::json!({
+            "pre_pr_serial": pre_pr_serial,
+            "fast_serial": fast_serial,
+            "fast_parallel": fast_parallel,
+        }),
+        "speedup": serde_json::json!({
+            "fast_serial_vs_pre_pr": (pre_pr_serial / fast_serial),
+            "fast_parallel_vs_pre_pr": (pre_pr_serial / fast_parallel),
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&out).expect("serializable");
+    std::fs::write(path, &pretty).expect("write bench json");
+    println!("{pretty}");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
-        let path = args.get(pos + 1).map(String::as_str).unwrap_or("BENCH_oracle.json");
-        write_bench_json(path);
+        match args.get(pos + 1).map(String::as_str) {
+            Some("finetune") => {
+                let path = args.get(pos + 2).map(String::as_str).unwrap_or("BENCH_finetune.json");
+                write_bench_finetune_json(path);
+            }
+            Some("oracle") => {
+                let path = args.get(pos + 2).map(String::as_str).unwrap_or("BENCH_oracle.json");
+                write_bench_json(path);
+            }
+            Some("all") | None => {
+                write_bench_json("BENCH_oracle.json");
+                write_bench_finetune_json("BENCH_finetune.json");
+            }
+            // Historical form: a bare output path means the oracle bench.
+            Some(path) => write_bench_json(path),
+        }
         return;
     }
     if let Some(pos) = args.iter().position(|a| a == "--out") {

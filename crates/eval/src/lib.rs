@@ -24,7 +24,8 @@ pub use par::{default_workers, par_map};
 pub use parse::{parse_pairs, parse_verdict, ParsedPair, Verdict};
 pub use stats::{compare_classifiers, mcnemar_exact, PairedOutcomes};
 pub use tables::{
-    corpus_surrogates, corpus_views, format_cv_table, format_detection_table, table2, table3,
-    table4, table5, table6, CvRow, DetectionRow,
+    corpus_surrogates, corpus_views, cv_tables_with_workers, format_cv_table,
+    format_detection_table, table2, table3, table4, table4_serial_reference, table5, table6,
+    table6_serial_reference, CvRow, DetectionRow,
 };
 pub use varid::{match_level, pair_matches, run_varid, run_varid_levels, MatchLevel, VarIdExchange};

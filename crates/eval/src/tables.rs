@@ -154,104 +154,202 @@ pub fn table5() -> Vec<DetectionRow> {
         .collect()
 }
 
-/// Per-fold detection confusion for the base (pre-trained) surrogate.
+/// The open-weight models fine-tuned under CV (paper §4.3), in table
+/// row order.
+const CV_MODELS: [ModelKind; 2] = [ModelKind::StarChatBeta, ModelKind::Llama2_7b];
+
+/// Fold seed shared by Tables 4 and 6 — same folds, same adapters.
+const CV_SEED: u64 = 20230915;
+
+/// Record a var-id outcome into a confusion matrix.
+fn record_varid(c: &mut Confusion, race: bool, outcome: VarIdOutcome) {
+    match (race, outcome) {
+        (true, VarIdOutcome::CorrectPairs) => c.tp += 1,
+        (true, _) => c.fn_ += 1,
+        (false, VarIdOutcome::NoPairs) => c.tn += 1,
+        (false, _) => c.fp += 1,
+    }
+}
+
+/// Per-fold detection confusion for the base (pre-trained) surrogate
+/// (memoized predictions — the trainer already asked for every one).
 fn cv_base_detection(s: &Surrogate, vs: &[KernelView], folds: &[finetune::Fold]) -> Vec<Confusion> {
     folds
         .iter()
         .map(|fold| {
             let mut c = Confusion::default();
             for &i in &fold.test {
-                c.record(vs[i].race, s.predict(&vs[i], PromptStrategy::P1));
+                c.record(vs[i].race, s.predict_memo(&vs[i], PromptStrategy::P1));
             }
             c
         })
         .collect()
 }
 
-/// Per-fold detection confusion for the fine-tuned model.
-fn cv_ft_detection(
-    s: &Surrogate,
-    vs: &[KernelView],
-    folds: &[finetune::Fold],
-    cfg: &TrainConfig,
-) -> Vec<Confusion> {
+/// Per-fold var-id confusion for the base surrogate.
+fn cv_base_varid(s: &Surrogate, vs: &[KernelView], folds: &[finetune::Fold]) -> Vec<Confusion> {
     folds
         .iter()
         .map(|fold| {
-            let train: Vec<KernelView> = fold.train.iter().map(|&i| vs[i].clone()).collect();
-            let ft = FineTuned::train(s, &train, cfg);
             let mut c = Confusion::default();
             for &i in &fold.test {
-                c.record(vs[i].race, ft.predict(s, &vs[i]));
+                record_varid(&mut c, vs[i].race, s.varid_outcome(&vs[i]));
             }
             c
         })
         .collect()
+}
+
+/// One fine-tuning job's outcome: detection (Table 4) and var-id
+/// (Table 6) confusions on the fold's validation split, both evaluated
+/// from the **same** trained adapter — the two tables share folds, fold
+/// seed, and training config, so training once per (model, fold) halves
+/// the total training work.
+struct FtFoldEval {
+    det: Confusion,
+    varid: Confusion,
+}
+
+fn ft_fold_eval(
+    s: &Surrogate,
+    vs: &[KernelView],
+    fold: &finetune::Fold,
+    cfg: &TrainConfig,
+) -> FtFoldEval {
+    let ft = FineTuned::train_on(s, vs, &fold.train, cfg);
+    let mut det = Confusion::default();
+    let mut varid = Confusion::default();
+    for &i in &fold.test {
+        let k = &vs[i];
+        det.record(k.race, ft.predict(s, k));
+        record_varid(&mut varid, k.race, finetune::varid_outcome_finetuned(&ft, s, k));
+    }
+    FtFoldEval { det, varid }
+}
+
+/// Build Tables 4 and 6 together with an explicit worker count: the
+/// 2 models × 5 folds fine-tuning jobs fan out over [`par::par_map`].
+/// Each job owns a deterministic RNG stream seeded only by the training
+/// config, and `par_map` is order-preserving, so the rows are
+/// byte-identical at every worker count (proved by the equivalence
+/// tests at 1 and 8 workers).
+pub fn cv_tables_with_workers(workers: usize) -> (Vec<CvRow>, Vec<CvRow>) {
+    let vs = corpus_views();
+    let folds = folds_for(vs, 5, CV_SEED);
+    let jobs: Vec<(ModelKind, usize)> =
+        CV_MODELS.iter().flat_map(|&m| (0..folds.len()).map(move |f| (m, f))).collect();
+    let evals: Vec<FtFoldEval> = par::par_map(&jobs, workers, |&(m, f)| {
+        ft_fold_eval(surrogate(m), vs, &folds[f], &TrainConfig::for_model(m))
+    });
+
+    let mut det_rows = Vec::new();
+    let mut varid_rows = Vec::new();
+    for (mi, m) in CV_MODELS.iter().enumerate() {
+        let s = surrogate(*m);
+        let ft: &[FtFoldEval] = &evals[mi * folds.len()..(mi + 1) * folds.len()];
+        det_rows.push(CvRow::from_folds(m.short(), &cv_base_detection(s, vs, &folds)));
+        det_rows.push(CvRow::from_folds(
+            &format!("{}-FT", m.short()),
+            &ft.iter().map(|e| e.det).collect::<Vec<_>>(),
+        ));
+        varid_rows.push(CvRow::from_folds(m.short(), &cv_base_varid(s, vs, &folds)));
+        varid_rows.push(CvRow::from_folds(
+            &format!("{}-FT", m.short()),
+            &ft.iter().map(|e| e.varid).collect::<Vec<_>>(),
+        ));
+    }
+    (det_rows, varid_rows)
+}
+
+/// Both CV tables, built once per process (they are deterministic in
+/// the corpus; every caller after the first gets the cached rows).
+fn cv_tables_cached() -> &'static (Vec<CvRow>, Vec<CvRow>) {
+    static TABLES: OnceLock<(Vec<CvRow>, Vec<CvRow>)> = OnceLock::new();
+    TABLES.get_or_init(|| cv_tables_with_workers(par::default_workers()))
 }
 
 /// Table 4 — 5-fold CV, detection, StarChat-β and Llama2-7b ± FT.
 pub fn table4() -> Vec<CvRow> {
-    let vs = corpus_views();
-    let folds = folds_for(vs, 5, 20230915);
-    let mut rows = Vec::new();
-    for m in [ModelKind::StarChatBeta, ModelKind::Llama2_7b] {
-        let s = surrogate(m);
-        let cfg = TrainConfig::for_model(m);
-        rows.push(CvRow::from_folds(m.short(), &cv_base_detection(s, vs, &folds)));
-        rows.push(CvRow::from_folds(
-            &format!("{}-FT", m.short()),
-            &cv_ft_detection(s, vs, &folds, &cfg),
-        ));
-    }
-    rows
-}
-
-/// Per-fold var-id confusion for base / fine-tuned models.
-fn cv_varid(
-    s: &Surrogate,
-    vs: &[KernelView],
-    folds: &[finetune::Fold],
-    cfg: Option<&TrainConfig>,
-) -> Vec<Confusion> {
-    folds
-        .iter()
-        .map(|fold| {
-            let ft = cfg.map(|cfg| {
-                let train: Vec<KernelView> = fold.train.iter().map(|&i| vs[i].clone()).collect();
-                FineTuned::train(s, &train, cfg)
-            });
-            let mut c = Confusion::default();
-            for &i in &fold.test {
-                let k = &vs[i];
-                let outcome = match &ft {
-                    Some(ft) => finetune::varid_outcome_finetuned(ft, s, k),
-                    None => s.varid_outcome(k),
-                };
-                match (k.race, outcome) {
-                    (true, VarIdOutcome::CorrectPairs) => c.tp += 1,
-                    (true, _) => c.fn_ += 1,
-                    (false, VarIdOutcome::NoPairs) => c.tn += 1,
-                    (false, _) => c.fp += 1,
-                }
-            }
-            c
-        })
-        .collect()
+    cv_tables_cached().0.clone()
 }
 
 /// Table 6 — 5-fold CV, variable identification, ± FT.
 pub fn table6() -> Vec<CvRow> {
+    cv_tables_cached().1.clone()
+}
+
+/// Pre-PR Table 4: the serial reference path kept for differential
+/// tests and the `BENCH_finetune.json` baseline — per-fold cloned
+/// training sets, the allocating two-optimizer trainer, uncached
+/// surrogate predictions, and a separate training run per table.
+pub fn table4_serial_reference() -> Vec<CvRow> {
     let vs = corpus_views();
-    let folds = folds_for(vs, 5, 20230915);
+    let folds = folds_for(vs, 5, CV_SEED);
     let mut rows = Vec::new();
-    for m in [ModelKind::StarChatBeta, ModelKind::Llama2_7b] {
+    for m in CV_MODELS {
         let s = surrogate(m);
         let cfg = TrainConfig::for_model(m);
-        rows.push(CvRow::from_folds(m.short(), &cv_varid(s, vs, &folds, None)));
-        rows.push(CvRow::from_folds(
-            &format!("{}-FT", m.short()),
-            &cv_varid(s, vs, &folds, Some(&cfg)),
-        ));
+        let base: Vec<Confusion> = folds
+            .iter()
+            .map(|fold| {
+                let mut c = Confusion::default();
+                for &i in &fold.test {
+                    c.record(vs[i].race, s.predict(&vs[i], PromptStrategy::P1));
+                }
+                c
+            })
+            .collect();
+        let ft: Vec<Confusion> = folds
+            .iter()
+            .map(|fold| {
+                let train: Vec<KernelView> = fold.train.iter().map(|&i| vs[i].clone()).collect();
+                let ft = FineTuned::train_reference(s, &train, &cfg);
+                let mut c = Confusion::default();
+                for &i in &fold.test {
+                    c.record(vs[i].race, ft.predict(s, &vs[i]));
+                }
+                c
+            })
+            .collect();
+        rows.push(CvRow::from_folds(m.short(), &base));
+        rows.push(CvRow::from_folds(&format!("{}-FT", m.short()), &ft));
+    }
+    rows
+}
+
+/// Pre-PR Table 6 (see [`table4_serial_reference`]): retrains every
+/// (model, fold) adapter from scratch instead of sharing Table 4's.
+pub fn table6_serial_reference() -> Vec<CvRow> {
+    let vs = corpus_views();
+    let folds = folds_for(vs, 5, CV_SEED);
+    let mut rows = Vec::new();
+    for m in CV_MODELS {
+        let s = surrogate(m);
+        let cfg = TrainConfig::for_model(m);
+        let base: Vec<Confusion> = folds
+            .iter()
+            .map(|fold| {
+                let mut c = Confusion::default();
+                for &i in &fold.test {
+                    record_varid(&mut c, vs[i].race, s.varid_outcome(&vs[i]));
+                }
+                c
+            })
+            .collect();
+        let ft: Vec<Confusion> = folds
+            .iter()
+            .map(|fold| {
+                let train: Vec<KernelView> = fold.train.iter().map(|&i| vs[i].clone()).collect();
+                let ft = FineTuned::train_reference(s, &train, &cfg);
+                let mut c = Confusion::default();
+                for &i in &fold.test {
+                    record_varid(&mut c, vs[i].race, finetune::varid_outcome_finetuned(&ft, s, &vs[i]));
+                }
+                c
+            })
+            .collect();
+        rows.push(CvRow::from_folds(m.short(), &base));
+        rows.push(CvRow::from_folds(&format!("{}-FT", m.short()), &ft));
     }
     rows
 }

@@ -42,8 +42,11 @@ pub fn stratified_folds_by(
     rng.shuffle(&mut pos);
     rng.shuffle(&mut neg);
     if let Some(score) = score {
-        pos.sort_by(|&a, &b| score[a].partial_cmp(&score[b]).unwrap());
-        neg.sort_by(|&a, &b| score[a].partial_cmp(&score[b]).unwrap());
+        // total_cmp: a NaN score (e.g. a degenerate difficulty from a
+        // 0-token kernel) must not panic the fold builder — NaNs sort
+        // after every real score and stratification proceeds.
+        pos.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
+        neg.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
         // Seeded rotation keeps fold membership seed-dependent.
         let rot = (rng.next_u64() % k as u64) as usize;
         let pr = rot.min(pos.len().saturating_sub(1));
@@ -150,6 +153,27 @@ mod tests {
             stratified_folds(&labels, 5, 7)[0].test,
             stratified_folds(&labels, 5, 8)[0].test
         );
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_stratification() {
+        // Regression: `partial_cmp(..).unwrap()` panicked on NaN
+        // difficulty scores; `total_cmp` must build valid folds instead.
+        let labels: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let mut scores: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        scores[3] = f64::NAN;
+        scores[17] = f64::NAN;
+        let folds = stratified_folds_by(&labels, Some(&scores), 5, 42);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![false; labels.len()];
+        for f in &folds {
+            for &i in &f.test {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+            assert_eq!(f.train.len() + f.test.len(), labels.len());
+        }
+        assert!(seen.iter().all(|&s| s), "NaN-scored items still partitioned");
     }
 
     #[test]

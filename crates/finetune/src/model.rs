@@ -29,21 +29,67 @@ pub fn quantize_4bit(w: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Reusable flat scratch for the allocation-free training loop.
+///
+/// One instance lives for a whole [`FineTuned::train`](crate::FineTuned)
+/// call; every buffer the per-example step needs — dropout mask, dropped
+/// input, `A·x` activations, and the fused adapter gradient — is sized
+/// once here and overwritten in place each step, so the inner loop
+/// touches the allocator zero times after warmup (proved by the
+/// `count-train-allocs` gated test).
+#[derive(Debug, Clone)]
+pub struct TrainScratch {
+    /// Per-input dropout keep mask.
+    pub mask: Vec<bool>,
+    /// Input with dropout applied (`x` where kept, `0` where dropped).
+    pub xd: Vec<f64>,
+    /// Adapter activations `(A·xd)`, one per rank.
+    pub ax: Vec<f64>,
+    /// Fused gradient buffer: `grad_A` (`rank × dim`) then `grad_B`
+    /// (`rank`) — same layout as [`LoraHead`]'s parameter buffer.
+    pub grads: Vec<f64>,
+}
+
+impl TrainScratch {
+    /// Scratch sized for a rank-`rank`, `dim`-wide adapter.
+    pub fn new(rank: usize, dim: usize) -> TrainScratch {
+        TrainScratch {
+            mask: vec![true; dim],
+            xd: vec![0.0; dim],
+            ax: vec![0.0; rank],
+            grads: vec![0.0; rank * dim + rank],
+        }
+    }
+
+    /// Refill the dropout mask in place, drawing exactly `mask.len()`
+    /// uniforms — the same stream positions the reference loop's
+    /// per-step `Vec<bool>` collect consumed, so seeded runs reproduce
+    /// the historical masks bit for bit.
+    pub fn fill_mask(&mut self, rng: &mut crate::train::Rng, dropout: f64) {
+        for m in &mut self.mask {
+            *m = rng.uniform() >= dropout;
+        }
+    }
+}
+
 /// A rank-`r` adapter over a `dim`-wide linear head.
 ///
 /// The effective weight applied to input `x` is
 /// `w_base + (alpha / r) * B A` where `A ∈ R^{r×dim}`, `B ∈ R^{1×r}`
-/// (we only need a scalar output head).
+/// (we only need a scalar output head). `A` and `B` live in one
+/// contiguous buffer (`A` rows, then `B`) so a single fused
+/// [`Adam`](crate::adam::Adam) can update every adapter parameter in one
+/// pass; per-coordinate updates make this bit-identical to the old
+/// separate `opt_a`/`opt_b` pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoraHead {
     /// Frozen base weights (quantized).
     pub w_base: Vec<f64>,
     /// Frozen base bias.
     pub b_base: f64,
-    /// Adapter down-projection, `r × dim` (row-major).
-    pub a: Vec<f64>,
-    /// Adapter up-projection, `1 × r`.
-    pub b: Vec<f64>,
+    /// Contiguous adapter parameters: down-projection `A` (`r × dim`,
+    /// row-major) followed by up-projection `B` (`1 × r`).
+    ab: Vec<f64>,
     /// Adapter rank.
     pub rank: usize,
     /// LoRA scale α.
@@ -57,15 +103,31 @@ impl LoraHead {
         let dim = w_base.len();
         let mut rng = crate::train::Rng::new(seed);
         // A ~ small random (like LoRA's gaussian init), B = 0.
-        let a: Vec<f64> =
+        let mut ab: Vec<f64> =
             (0..rank * dim).map(|_| (rng.uniform() - 0.5) * 0.02).collect();
-        let b = vec![0.0; rank];
-        LoraHead { w_base: quantize_4bit(&w_base), b_base, a, b, rank, alpha }
+        ab.resize(rank * dim + rank, 0.0);
+        LoraHead { w_base: quantize_4bit(&w_base), b_base, ab, rank, alpha }
     }
 
     /// Dimension of the input features.
     pub fn dim(&self) -> usize {
         self.w_base.len()
+    }
+
+    /// Number of adapter parameters (`rank·dim + rank`), the length of
+    /// the fused optimizer's parameter vector.
+    pub fn adapter_params(&self) -> usize {
+        self.ab.len()
+    }
+
+    /// Adapter down-projection `A` (`r × dim`, row-major).
+    pub fn a(&self) -> &[f64] {
+        &self.ab[..self.rank * self.dim()]
+    }
+
+    /// Adapter up-projection `B` (`1 × r`).
+    pub fn b(&self) -> &[f64] {
+        &self.ab[self.rank * self.dim()..]
     }
 
     /// Raw logit for an input.
@@ -77,13 +139,14 @@ impl LoraHead {
         }
         // Adapter path: B (A x) * alpha / r.
         let scale = self.alpha / self.rank.max(1) as f64;
+        let (a, b) = self.ab.split_at(self.rank * self.dim());
         for r in 0..self.rank {
             let mut ax = 0.0;
-            let row = &self.a[r * self.dim()..(r + 1) * self.dim()];
+            let row = &a[r * self.dim()..(r + 1) * self.dim()];
             for (a, xi) in row.iter().zip(x) {
                 ax += a * xi;
             }
-            z += scale * self.b[r] * ax;
+            z += scale * b[r] * ax;
         }
         z
     }
@@ -94,9 +157,13 @@ impl LoraHead {
     }
 
     /// Adapter gradients for one example (cross-entropy loss) without
-    /// applying them. Returns `(grad_a, grad_b, loss)`.
+    /// applying them. Returns `(grad_a, grad_b, loss)`. This is the
+    /// allocating reference path; training proper uses
+    /// [`LoraHead::adam_step_scratch`], which produces bit-identical
+    /// gradients without the intermediate `Vec`s.
     pub fn grads(&self, x: &[f64], y: f64, dropout_mask: &[bool]) -> (Vec<f64>, Vec<f64>, f64) {
         let dim = self.dim();
+        let (a, b) = self.ab.split_at(self.rank * dim);
         let xd: Vec<f64> =
             x.iter().zip(dropout_mask).map(|(v, keep)| if *keep { *v } else { 0.0 }).collect();
         let p = self.prob(&xd);
@@ -104,7 +171,7 @@ impl LoraHead {
         let scale = self.alpha / self.rank.max(1) as f64;
         let ax: Vec<f64> = (0..self.rank)
             .map(|r| {
-                let row = &self.a[r * dim..(r + 1) * dim];
+                let row = &a[r * dim..(r + 1) * dim];
                 row.iter().zip(&xd).map(|(a, xi)| a * xi).sum()
             })
             .collect();
@@ -113,7 +180,7 @@ impl LoraHead {
         let mut gb = vec![0.0; self.rank];
         for r in 0..self.rank {
             gb[r] = err * scale * ax[r];
-            let brow = self.b[r];
+            let brow = b[r];
             for (j, xi) in xd.iter().enumerate() {
                 ga[r * dim + j] = err * scale * brow * xi;
             }
@@ -127,16 +194,19 @@ impl LoraHead {
     /// training proper uses [`crate::adam::Adam`]. Returns the loss.
     pub fn sgd_step(&mut self, x: &[f64], y: f64, lr: f64, dropout_mask: &[bool]) -> f64 {
         let (ga, gb, loss) = self.grads(x, y, dropout_mask);
-        for (a, g) in self.a.iter_mut().zip(&ga) {
+        let split = self.rank * self.dim();
+        let (a, b) = self.ab.split_at_mut(split);
+        for (a, g) in a.iter_mut().zip(&ga) {
             *a -= lr * g;
         }
-        for (b, g) in self.b.iter_mut().zip(&gb) {
+        for (b, g) in b.iter_mut().zip(&gb) {
             *b -= lr * g;
         }
         loss
     }
 
-    /// One Adam step on the adapter.
+    /// One Adam step on the adapter, two optimizers (reference path; the
+    /// fast loop fuses both into one via [`LoraHead::adam_step_scratch`]).
     pub fn adam_step(
         &mut self,
         x: &[f64],
@@ -146,26 +216,93 @@ impl LoraHead {
         dropout_mask: &[bool],
     ) -> f64 {
         let (ga, gb, loss) = self.grads(x, y, dropout_mask);
-        opt_a.step(&mut self.a, &ga);
-        opt_b.step(&mut self.b, &gb);
+        let split = self.rank * self.dim();
+        let (a, b) = self.ab.split_at_mut(split);
+        opt_a.step(a, &ga);
+        opt_b.step(b, &gb);
         loss
+    }
+
+    /// Allocation-free fused training step: dropout + forward + backward
+    /// into `scratch`, then one [`Adam::step_fast`](crate::adam::Adam)
+    /// over the whole contiguous parameter buffer. `scratch.mask` must
+    /// already hold this step's dropout draw (see
+    /// [`TrainScratch::fill_mask`]).
+    ///
+    /// Gradients are bit-identical to [`LoraHead::grads`]: the dropped
+    /// input and the base-head dot product are fused into one pass that
+    /// preserves the reference accumulation order, `A·x` reuses the same
+    /// left-to-right zip, and the hoisted `err·scale·B_r` factor keeps
+    /// the reference's left-associated multiply order. The (unused) loss
+    /// is not computed.
+    pub fn adam_step_scratch(
+        &mut self,
+        x: &[f64],
+        y: f64,
+        opt: &mut crate::adam::Adam,
+        scratch: &mut TrainScratch,
+    ) {
+        let dim = self.dim();
+        debug_assert_eq!(x.len(), dim);
+        debug_assert_eq!(scratch.mask.len(), dim);
+        debug_assert_eq!(scratch.grads.len(), self.ab.len());
+        let scale = self.alpha / self.rank.max(1) as f64;
+        let (a, b) = self.ab.split_at(self.rank * dim);
+
+        // Fused dropout + base-head forward (same accumulation order as
+        // `logit` over the dropped input).
+        let mut z = self.b_base;
+        for (((&xi, &keep), xd), &w) in x
+            .iter()
+            .zip(&scratch.mask)
+            .zip(scratch.xd.iter_mut())
+            .zip(&self.w_base)
+        {
+            let xi = if keep { xi } else { 0.0 };
+            *xd = xi;
+            z += w * xi;
+        }
+        // Adapter forward, activations kept for the backward pass.
+        for r in 0..self.rank {
+            let row = &a[r * dim..(r + 1) * dim];
+            let mut ax = 0.0;
+            for (a, xi) in row.iter().zip(&scratch.xd) {
+                ax += a * xi;
+            }
+            scratch.ax[r] = ax;
+            z += scale * b[r] * ax;
+        }
+
+        let err = sigmoid(z) - y; // dL/dz for cross-entropy + sigmoid
+        let (ga, gb) = scratch.grads.split_at_mut(self.rank * dim);
+        for r in 0..self.rank {
+            gb[r] = err * scale * scratch.ax[r];
+            let c = err * scale * b[r];
+            for (g, xi) in ga[r * dim..(r + 1) * dim].iter_mut().zip(&scratch.xd) {
+                *g = c * xi;
+            }
+        }
+        opt.step_fast(&mut self.ab, &scratch.grads);
     }
 }
 
 /// Fit a plain logistic head by gradient descent (used to build the
-/// frozen base head that mimics the surrogate's behaviour).
-pub fn fit_base_head(
-    xs: &[Vec<f64>],
+/// frozen base head that mimics the surrogate's behaviour). Accepts any
+/// slice-of-rows (`Vec<f64>` or borrowed `&[f64]` rows alike), so the
+/// fast trainer can feed cached artifact vectors without copying them.
+pub fn fit_base_head<X: AsRef<[f64]>>(
+    xs: &[X],
     ys: &[f64],
     epochs: usize,
     lr: f64,
     l2: f64,
 ) -> (Vec<f64>, f64) {
-    let dim = xs.first().map(Vec::len).unwrap_or(0);
+    let dim = xs.first().map(|x| x.as_ref().len()).unwrap_or(0);
     let mut w = vec![0.0f64; dim];
     let mut b = 0.0f64;
     for _ in 0..epochs {
         for (x, y) in xs.iter().zip(ys) {
+            let x = x.as_ref();
             let mut z = b;
             for (wi, xi) in w.iter().zip(x) {
                 z += wi * xi;
@@ -234,5 +371,73 @@ mod tests {
         let (w, b) = fit_base_head(&xs, &ys, 300, 0.5, 0.0);
         assert!(sigmoid(w[0] + b) > 0.85);
         assert!(sigmoid(b) < 0.15);
+    }
+
+    #[test]
+    fn base_head_accepts_borrowed_rows() {
+        // The fast trainer hands over cached `&[f64]` artifact rows; the
+        // generic must produce the exact same fit as owned rows.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 2) as f64, 0.25]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| (i % 2) as f64).collect();
+        let borrowed: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        assert_eq!(fit_base_head(&xs, &ys, 50, 0.3, 1e-3), fit_base_head(&borrowed, &ys, 50, 0.3, 1e-3));
+    }
+
+    #[test]
+    fn fused_step_gradients_match_reference_bitwise() {
+        let mut rng = crate::train::Rng::new(11);
+        let dim = 13;
+        let rank = 4;
+        let w: Vec<f64> = (0..dim).map(|_| rng.uniform() - 0.5).collect();
+        let mut head = LoraHead::new(w, 0.2, rank, 16.0, 5);
+        let cfg = crate::adam::AdamConfig { lr: 0.01, ..Default::default() };
+        let mut opt = crate::adam::Adam::new(head.adapter_params(), cfg);
+        let mut scratch = TrainScratch::new(rank, dim);
+        let mut mask_rng = crate::train::Rng::new(99);
+        for step in 0..50 {
+            let x: Vec<f64> =
+                (0..dim).map(|i| (((step * dim + i) as f64) * 0.37).sin()).collect();
+            let y = f64::from(step % 2 == 0);
+            scratch.fill_mask(&mut mask_rng, 0.3);
+            let (ga, gb, _) = head.grads(&x, y, &scratch.mask);
+            head.adam_step_scratch(&x, y, &mut opt, &mut scratch);
+            let (sa, sb) = scratch.grads.split_at(rank * dim);
+            assert_eq!(sa, &ga[..], "grad_A diverged at step {step}");
+            assert_eq!(sb, &gb[..], "grad_B diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn fused_training_tracks_two_optimizer_reference() {
+        // Same inputs, same dropout masks: the fused single-Adam
+        // `step_fast` path and the old two-optimizer `step` path differ
+        // only in Adam's float evaluation order, so parameters must
+        // agree to rounding over a full training run.
+        let mut rng = crate::train::Rng::new(21);
+        let dim = 17;
+        let rank = 3;
+        let w: Vec<f64> = (0..dim).map(|_| rng.uniform() - 0.5).collect();
+        let mut ref_head = LoraHead::new(w, -0.1, rank, 16.0, 5);
+        let mut fast_head = ref_head.clone();
+        let cfg = crate::adam::AdamConfig { lr: 0.02, ..Default::default() };
+        let mut opt_a = crate::adam::Adam::new(rank * dim, cfg);
+        let mut opt_b = crate::adam::Adam::new(rank, cfg);
+        let mut opt = crate::adam::Adam::new(fast_head.adapter_params(), cfg);
+        let mut scratch = TrainScratch::new(rank, dim);
+        let mut mask_rng = crate::train::Rng::new(7);
+        for step in 0..300 {
+            let x: Vec<f64> =
+                (0..dim).map(|i| (((step * dim + i) as f64) * 0.61).cos()).collect();
+            let y = f64::from(step % 3 == 0);
+            scratch.fill_mask(&mut mask_rng, 0.1);
+            ref_head.adam_step(&x, y, &mut opt_a, &mut opt_b, &scratch.mask);
+            fast_head.adam_step_scratch(&x, y, &mut opt, &mut scratch);
+        }
+        for (p, q) in ref_head.a().iter().zip(fast_head.a()) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+        for (p, q) in ref_head.b().iter().zip(fast_head.b()) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
     }
 }

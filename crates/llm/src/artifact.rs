@@ -18,7 +18,9 @@
 //! that invariant; see DESIGN.md §5).
 
 use crate::features::CodeFeatures;
+use crate::profile::{ModelKind, PromptStrategy};
 use crate::tokenizer::{tokenize, Token};
+use std::sync::OnceLock;
 
 /// Width of the hashed n-gram vector.
 pub const NGRAM_DIM: usize = 256;
@@ -62,6 +64,53 @@ pub fn ngram_vector(code: &str) -> Vec<f64> {
     ngram_vector_of(&tokenize(code))
 }
 
+/// Lock-free memo of calibrated surrogate yes/no answers for one kernel.
+///
+/// `Surrogate::predict` is deterministic given (model, strategy,
+/// calibration corpus), so its answer belongs with the kernel's other
+/// once-per-kernel derived state: every clone of a view — the per-fold
+/// copies the CV runners hand to the trainer — shares one memo and
+/// stops re-running surrogate inference. Each (model, strategy) pair
+/// owns one slot; a slot also records the calibration fingerprint of
+/// the surrogate that filled it, so a surrogate calibrated against a
+/// *different* corpus can never read a stale answer (fingerprint
+/// mismatch falls back to computing, every time, without poisoning the
+/// slot).
+#[derive(Debug)]
+pub struct PredictMemo {
+    slots: [OnceLock<(u64, bool)>; Self::SLOTS],
+}
+
+impl PredictMemo {
+    /// One slot per (model kind, prompt strategy) pair.
+    pub const SLOTS: usize = ModelKind::COUNT * PromptStrategy::COUNT;
+
+    /// Dense slot index for a (model, strategy) pair.
+    pub fn slot(model: ModelKind, strategy: PromptStrategy) -> usize {
+        model.index() * PromptStrategy::COUNT + strategy.index()
+    }
+
+    /// The memoized answer, if a surrogate with this exact calibration
+    /// fingerprint already filled the slot.
+    pub fn get(&self, slot: usize, fingerprint: u64) -> Option<bool> {
+        match self.slots[slot].get() {
+            Some(&(fp, ans)) if fp == fingerprint => Some(ans),
+            _ => None,
+        }
+    }
+
+    /// Record an answer (first writer wins; later writers are no-ops).
+    pub fn put(&self, slot: usize, fingerprint: u64, answer: bool) {
+        let _ = self.slots[slot].set((fingerprint, answer));
+    }
+}
+
+impl Default for PredictMemo {
+    fn default() -> Self {
+        PredictMemo { slots: std::array::from_fn(|_| OnceLock::new()) }
+    }
+}
+
 /// Everything the pipeline ever derives from one kernel's trimmed code,
 /// computed once.
 #[derive(Debug)]
@@ -81,6 +130,9 @@ pub struct AnalyzedKernel {
     pub full_vec: Vec<f64>,
     /// `features.surface_difficulty()`, cached.
     pub surface_difficulty: f64,
+    /// Memoized calibrated yes/no answers (filled lazily by
+    /// [`Surrogate::predict_memo`](crate::Surrogate::predict_memo)).
+    pub predict_memo: PredictMemo,
 }
 
 impl AnalyzedKernel {
@@ -109,6 +161,7 @@ impl AnalyzedKernel {
             ngram_vec,
             full_vec,
             surface_difficulty,
+            predict_memo: PredictMemo::default(),
         }
     }
 }
@@ -149,5 +202,42 @@ mod tests {
     #[test]
     fn ngram_vector_matches_token_form() {
         assert_eq!(ngram_vector(RACY), ngram_vector_of(&tokenize(RACY)));
+    }
+
+    #[test]
+    fn predict_memo_is_fingerprint_scoped() {
+        let memo = PredictMemo::default();
+        let slot = PredictMemo::slot(ModelKind::Gpt4, PromptStrategy::P2);
+        assert!(memo.get(slot, 1).is_none());
+        memo.put(slot, 1, true);
+        assert_eq!(memo.get(slot, 1), Some(true));
+        // A surrogate with a different calibration fingerprint must not
+        // read the slot, and must not be able to overwrite it either.
+        assert!(memo.get(slot, 2).is_none());
+        memo.put(slot, 2, false);
+        assert_eq!(memo.get(slot, 1), Some(true));
+        // Other slots are independent.
+        let other = PredictMemo::slot(ModelKind::Gpt4, PromptStrategy::P3);
+        assert_ne!(slot, other);
+        assert!(memo.get(other, 1).is_none());
+    }
+
+    #[test]
+    fn predict_memo_slots_are_dense_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for m in ModelKind::ALL {
+            for p in [
+                PromptStrategy::Bp1,
+                PromptStrategy::Bp2,
+                PromptStrategy::P1,
+                PromptStrategy::P2,
+                PromptStrategy::P3,
+            ] {
+                let s = PredictMemo::slot(m, p);
+                assert!(s < PredictMemo::SLOTS);
+                assert!(seen.insert(s), "slot {s} reused");
+            }
+        }
+        assert_eq!(seen.len(), PredictMemo::SLOTS);
     }
 }

@@ -7,11 +7,12 @@
 //! `format_adherence` profiles produce prose and malformed JSON on
 //! purpose.
 
-use crate::artifact::AnalyzedKernel;
+use crate::artifact::{AnalyzedKernel, PredictMemo};
 use crate::decide::{jitter, DetectionDecider, KernelInfo, VarIdDecider, VarIdOutcome};
 use crate::profile::{ModelKind, ModelProfile, PromptStrategy};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::Hasher;
 use std::sync::{Arc, OnceLock};
 
 /// Ground-truth pair view (supplied by the dataset layer).
@@ -118,6 +119,7 @@ pub struct Surrogate {
     infos: Vec<KernelInfo>,
     detection: HashMap<PromptStrategy, DetectionDecider>,
     varid: VarIdDecider,
+    fingerprint: u64,
 }
 
 impl Surrogate {
@@ -135,7 +137,20 @@ impl Surrogate {
             detection.insert(p, DetectionDecider::calibrate(kind, p, &infos));
         }
         let varid = VarIdDecider::calibrate(kind, &infos);
-        Surrogate { profile: ModelProfile::of(kind), infos, detection, varid }
+        // Calibration fingerprint: answers are a pure function of
+        // (model, calibration inputs), so hashing those inputs gives the
+        // identity key the per-kernel predict memo is scoped by. Two
+        // surrogates of the same kind over the same corpus share memo
+        // entries; any corpus difference changes the fingerprint.
+        let mut h = par::hash::FxHasher::default();
+        h.write_u64(kind.index() as u64);
+        for i in &infos {
+            h.write_u32(i.id);
+            h.write_u8(u8::from(i.race));
+            h.write_u64(i.difficulty.to_bits());
+        }
+        let fingerprint = h.finish();
+        Surrogate { profile: ModelProfile::of(kind), infos, detection, varid, fingerprint }
     }
 
     fn kind(&self) -> ModelKind {
@@ -145,6 +160,24 @@ impl Surrogate {
     /// Raw yes/no prediction for a kernel under a prompt strategy.
     pub fn predict(&self, k: &KernelView, strategy: PromptStrategy) -> bool {
         self.detection[&strategy].predict(&k.info())
+    }
+
+    /// Memoized [`Surrogate::predict`]: the identical answer, cached in
+    /// the kernel's shared analysis artifact so repeated sweeps (the CV
+    /// trainer's base-head fitting, `FineTuned::prob`'s base path, the
+    /// base table rows) pay for inference once per (kernel, model,
+    /// strategy) instead of once per call. Falls back to computing —
+    /// without caching — when the slot was filled by a surrogate with a
+    /// different calibration fingerprint.
+    pub fn predict_memo(&self, k: &KernelView, strategy: PromptStrategy) -> bool {
+        let slot = PredictMemo::slot(self.kind(), strategy);
+        let memo = &k.artifact().predict_memo;
+        if let Some(ans) = memo.get(slot, self.fingerprint) {
+            return ans;
+        }
+        let ans = self.predict(k, strategy);
+        memo.put(slot, self.fingerprint, ans);
+        ans
     }
 
     /// The model's variable-identification behaviour for a kernel.
@@ -519,6 +552,52 @@ mod tests {
                 s1.answer_detection(k, PromptStrategy::P2),
                 s2.answer_detection(k, PromptStrategy::P2)
             );
+        }
+    }
+
+    #[test]
+    fn predict_memo_matches_predict_everywhere() {
+        let ks = corpus();
+        let strategies = [
+            PromptStrategy::Bp1,
+            PromptStrategy::Bp2,
+            PromptStrategy::P1,
+            PromptStrategy::P2,
+            PromptStrategy::P3,
+        ];
+        for m in ModelKind::ALL {
+            let s = Surrogate::new(m, &ks);
+            for k in &ks {
+                for p in strategies {
+                    let fresh = s.predict(k, p);
+                    // First call fills the slot, second reads it; both
+                    // must agree with the unmemoized path.
+                    assert_eq!(s.predict_memo(k, p), fresh, "{m:?}/{p:?}/{}", k.id);
+                    assert_eq!(s.predict_memo(k, p), fresh, "{m:?}/{p:?}/{}", k.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_memo_is_safe_across_calibration_corpora() {
+        // Two same-kind surrogates calibrated on different corpora share
+        // the memo slot but must each still answer from their own
+        // calibration: the fingerprint guard downgrades the loser to the
+        // uncached path instead of serving it the winner's answer.
+        let full = corpus();
+        let half: Vec<KernelView> = full[..20].to_vec();
+        let s_full = Surrogate::new(ModelKind::StarChatBeta, &full);
+        let s_half = Surrogate::new(ModelKind::StarChatBeta, &half);
+        for k in &full {
+            for (s, label) in [(&s_full, "full"), (&s_half, "half")] {
+                assert_eq!(
+                    s.predict_memo(k, PromptStrategy::P2),
+                    s.predict(k, PromptStrategy::P2),
+                    "{label}/{}",
+                    k.id
+                );
+            }
         }
     }
 }

@@ -25,7 +25,7 @@ pub mod modalities;
 pub mod profile;
 pub mod tokenizer;
 
-pub use artifact::{ngram_vector, ngram_vector_of, AnalyzedKernel, NGRAM_DIM};
+pub use artifact::{ngram_vector, ngram_vector_of, AnalyzedKernel, PredictMemo, NGRAM_DIM};
 pub use calibration::{detection_point, varid_point, OperatingPoint, VarIdPoint};
 pub use decide::{DetectionDecider, KernelInfo, VarIdDecider, VarIdOutcome};
 pub use features::CodeFeatures;

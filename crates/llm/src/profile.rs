@@ -27,6 +27,14 @@ impl ModelKind {
     pub const ALL: [ModelKind; 4] =
         [ModelKind::Gpt35Turbo, ModelKind::Gpt4, ModelKind::StarChatBeta, ModelKind::Llama2_7b];
 
+    /// Number of model kinds (dense-index table width).
+    pub const COUNT: usize = 4;
+
+    /// Dense index in `0..ModelKind::COUNT` (declaration order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Paper's short label (Table 3).
     pub fn short(&self) -> &'static str {
         match self {
@@ -129,6 +137,14 @@ pub enum PromptStrategy {
 }
 
 impl PromptStrategy {
+    /// Number of prompt strategies (dense-index table width).
+    pub const COUNT: usize = 5;
+
+    /// Dense index in `0..PromptStrategy::COUNT` (declaration order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Paper label.
     pub fn label(&self) -> &'static str {
         match self {
@@ -178,6 +194,27 @@ mod tests {
             ModelKind::ALL.iter().map(|m| ModelProfile::of(*m).depth).collect();
         let gpt4 = ModelProfile::of(ModelKind::Gpt4).depth;
         assert!(depths.iter().all(|d| *d <= gpt4));
+    }
+
+    #[test]
+    fn dense_indices_cover_their_ranges() {
+        let mut seen = [false; ModelKind::COUNT];
+        for m in ModelKind::ALL {
+            seen[m.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        let strategies = [
+            PromptStrategy::Bp1,
+            PromptStrategy::Bp2,
+            PromptStrategy::P1,
+            PromptStrategy::P2,
+            PromptStrategy::P3,
+        ];
+        let mut seen = [false; PromptStrategy::COUNT];
+        for p in strategies {
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
     }
 
     #[test]
