@@ -30,7 +30,11 @@ fn is_reserved(name: &str) -> bool {
 }
 
 /// Collect every renameable variable in declaration order.
-fn collect_names(unit: &TranslationUnit) -> Vec<String> {
+///
+/// Public so other mutation subsystems (the `xcheck` differential
+/// harness) can reuse the exact rename machinery the augmenter is
+/// validated with; reserved names (`main`, `omp_*`, libc) are skipped.
+pub fn collect_names(unit: &TranslationUnit) -> Vec<String> {
     let mut names = Vec::new();
     let mut push = |n: &str| {
         if !is_reserved(n) && !names.iter().any(|x| x == n) {
@@ -83,8 +87,9 @@ fn collect_names(unit: &TranslationUnit) -> Vec<String> {
     names
 }
 
-/// Apply a rename map everywhere a variable name can occur.
-fn rename_unit(unit: &mut TranslationUnit, map: &HashMap<String, String>) {
+/// Apply a rename map everywhere a variable name can occur: idents,
+/// declarators, clause variable lists, `threadprivate`/`flush` lists.
+pub fn rename_unit(unit: &mut TranslationUnit, map: &HashMap<String, String>) {
     let ren = |n: &mut String| {
         if let Some(new) = map.get(n.as_str()) {
             *n = new.clone();

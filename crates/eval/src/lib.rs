@@ -19,7 +19,7 @@ pub mod tables;
 pub mod varid;
 
 pub use detection::{run_baseline, run_detection, surrogates, Exchange};
-pub use metrics::Confusion;
+pub use metrics::{Agreement, Confusion};
 pub use par::{default_workers, par_map};
 pub use parse::{parse_pairs, parse_verdict, ParsedPair, Verdict};
 pub use stats::{compare_classifiers, mcnemar_exact, PairedOutcomes};

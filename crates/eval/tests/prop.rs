@@ -1,7 +1,7 @@
 //! Property tests: metric identities, parser totality, and parallel-map
 //! equivalence.
 
-use eval::{par_map, parse_pairs, parse_verdict, Confusion};
+use eval::{par_map, parse_pairs, parse_verdict, Agreement, Confusion};
 use proptest::prelude::*;
 
 proptest! {
@@ -69,5 +69,74 @@ proptest! {
         let serial: Vec<i64> = xs.iter().map(|x| x * 3 + 1).collect();
         let parallel = par_map(&xs, w, |x| x * 3 + 1);
         prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cells_sum_to_corpus_size(truths in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..200)) {
+        // The four confusion cells always partition the corpus.
+        let mut c = Confusion::default();
+        for &(t, p) in &truths {
+            c.record(t, p);
+        }
+        prop_assert_eq!((c.tp + c.fp + c.tn + c.fn_) as usize, truths.len());
+    }
+
+    #[test]
+    fn label_permutation_symmetry(truths in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..200)) {
+        // Relabelling both sides (race <-> clean) swaps tp<->tn and
+        // fp<->fn_, swapping precision with the negative-class
+        // precision while leaving accuracy and total fixed.
+        let (mut c, mut flipped) = (Confusion::default(), Confusion::default());
+        for &(t, p) in &truths {
+            c.record(t, p);
+            flipped.record(!t, !p);
+        }
+        prop_assert_eq!(c.tp, flipped.tn);
+        prop_assert_eq!(c.fp, flipped.fn_);
+        prop_assert_eq!(c.total(), flipped.total());
+        prop_assert!((c.accuracy() - flipped.accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_swaps_precision_and_recall(tp in 0u32..200, fp in 0u32..200, tn in 0u32..200, fn_ in 0u32..200) {
+        // Swapping prediction and truth (transpose of the matrix)
+        // exchanges fp and fn_, hence precision and recall; F1, being
+        // their harmonic mean, is invariant.
+        let c = Confusion { tp, fp, tn, fn_ };
+        let t = Confusion { tp, fp: fn_, tn, fn_: fp };
+        prop_assert!((c.precision() - t.recall()).abs() < 1e-12);
+        prop_assert!((c.recall() - t.precision()).abs() < 1e-12);
+        prop_assert!((c.f1() - t.f1()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_matrix_invariants(rows in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 0..150)) {
+        let mut a = Agreement::new(&["x", "y", "z"]);
+        for &(x, y, z) in &rows {
+            a.record(&[x, y, z]);
+        }
+        prop_assert_eq!(a.total() as usize, rows.len());
+        for i in 0..3 {
+            // Self-agreement is total, and the matrix is symmetric.
+            prop_assert_eq!(a.count(i, i), a.total());
+            for j in 0..3 {
+                prop_assert_eq!(a.count(i, j), a.count(j, i));
+                prop_assert!(a.count(i, j) <= a.total());
+                let r = a.rate(i, j);
+                prop_assert!((0.0..=1.0).contains(&r), "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_record_order_is_irrelevant(rows in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..100)) {
+        let (mut fwd, mut rev) = (Agreement::new(&["a", "b"]), Agreement::new(&["a", "b"]));
+        for &(x, y) in &rows {
+            fwd.record(&[x, y]);
+        }
+        for &(x, y) in rows.iter().rev() {
+            rev.record(&[x, y]);
+        }
+        prop_assert_eq!(fwd, rev);
     }
 }

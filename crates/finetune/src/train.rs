@@ -114,7 +114,14 @@ impl FineTuned {
         let mut base: Vec<(u32, bool)> =
             train.iter().map(|k| (k.id, surrogate.predict_memo(k, PromptStrategy::P1))).collect();
         let base_ys: Vec<f64> = base.iter().map(|&(_, p)| f64::from(p)).collect();
-        let (w0, b0) = fit_base_head(&xs, &base_ys, 12, 0.1, 1e-3);
+        // An empty training split degrades to the zero head at the full
+        // feature width (an uninformed 0.5 prior) instead of a 0-dim
+        // head that would fail the dimension check at inference time.
+        let (w0, b0) = if xs.is_empty() {
+            (vec![0.0; crate::ngram::FEATURE_DIM], 0.0)
+        } else {
+            fit_base_head(&xs, &base_ys, 12, 0.1, 1e-3)
+        };
 
         // 2. LoRA fine-tuning on the ground-truth labels (Adam, as in
         //    the paper's §3.4).

@@ -63,6 +63,14 @@ pub fn check_source(src: &str, cfg: &Config) -> Result<DynReport, Box<dyn std::e
     Ok(check(&unit, cfg)?)
 }
 
+/// Uniform yes/no verdict adapter over the adversarial schedule sweep
+/// (the shape the `xcheck` differential harness compares across
+/// detectors). `Err` means the program could not be executed (out of
+/// fuel, bad address, …), not "no race".
+pub fn verdict(unit: &TranslationUnit, base: &Config, seeds: &[u64]) -> Result<bool, RtError> {
+    check_adversarial(unit, base, seeds).map(|r| r.has_race())
+}
+
 /// Union reports across several seeds (adversarial schedule exploration).
 ///
 /// Equivalent to running [`check`] per seed and merging in seed order,

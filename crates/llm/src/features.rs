@@ -5,12 +5,23 @@
 //! plus — for deeper profiles — a shallow dependence analysis. The same
 //! feature vector feeds the fine-tuning crate.
 
+use crate::profile::{ModelKind, ModelProfile};
 use depend::access::{accesses_of_block, AccessKind};
 use depend::loopdep::{first_for, analyze_loop};
 use minic::ast::{Item, Stmt};
 use minic::pragma::{Clause, DirectiveKind};
 use minic::visit::collect_directives;
 use serde::{Deserialize, Serialize};
+
+/// Uncalibrated yes/no verdict for code outside the calibrated corpus:
+/// the feature-based suspicion score at the model's analysis depth,
+/// thresholded at 0.5. This is exactly what the decision layer degrades
+/// to without a calibration entry; the umbrella `Pipeline` and the
+/// `xcheck` differential harness both use it as the uniform LLM verdict
+/// adapter for generated (non-corpus) kernels.
+pub fn feature_verdict(features: &CodeFeatures, kind: ModelKind) -> bool {
+    features.race_suspicion(ModelProfile::of(kind).depth) > 0.5
+}
 
 /// Structural features of one kernel.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]

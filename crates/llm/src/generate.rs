@@ -190,6 +190,13 @@ impl Surrogate {
         self.infos.len()
     }
 
+    /// Uncalibrated feature-based verdict for non-corpus code (see
+    /// [`crate::features::feature_verdict`]); ignores the calibration
+    /// tables entirely, so it works on arbitrary generated kernels.
+    pub fn suspicion_verdict(&self, features: &crate::features::CodeFeatures) -> bool {
+        crate::features::feature_verdict(features, self.profile.kind)
+    }
+
     /// Free-text detection answer (one chat turn; for p3 this is the
     /// final turn after the dependence-analysis turn).
     pub fn answer_detection(&self, k: &KernelView, strategy: PromptStrategy) -> String {

@@ -28,7 +28,7 @@ pub mod tokenizer;
 pub use artifact::{ngram_vector, ngram_vector_of, AnalyzedKernel, PredictMemo, NGRAM_DIM};
 pub use calibration::{detection_point, varid_point, OperatingPoint, VarIdPoint};
 pub use decide::{DetectionDecider, KernelInfo, VarIdDecider, VarIdOutcome};
-pub use features::CodeFeatures;
+pub use features::{feature_verdict, CodeFeatures};
 pub use generate::{ChatSession, KernelView, PairView, Surrogate};
 pub use modalities::{render as render_modality, Modality};
 pub use profile::{ModelKind, ModelProfile, PromptStrategy};

@@ -5,7 +5,7 @@
 //! assignments, calls) decorated with OpenMP directives. Every node that
 //! can appear in a race report carries a [`Span`].
 
-use crate::pragma::Directive;
+use crate::pragma::{Clause, Directive};
 use crate::span::Span;
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +16,169 @@ pub struct TranslationUnit {
     pub preprocessor: Vec<PpLine>,
     /// Top-level items in source order.
     pub items: Vec<Item>,
+}
+
+impl TranslationUnit {
+    /// Reset every span in the tree to [`Span::DUMMY`].
+    ///
+    /// The derived `PartialEq` compares spans, so two parses of the same
+    /// program laid out differently never compare equal. AST-mutation
+    /// consumers need *structural* equality — parse → print → re-parse
+    /// must be the identity — which is `==` after `strip_spans` on both
+    /// sides.
+    pub fn strip_spans(&mut self) {
+        for pp in &mut self.preprocessor {
+            pp.span = Span::DUMMY;
+        }
+        for item in &mut self.items {
+            match item {
+                Item::Func(f) => strip_func(f),
+                Item::Global(d) => strip_decl(d),
+                Item::Pragma(d) => strip_directive(d),
+            }
+        }
+    }
+}
+
+fn strip_func(f: &mut FuncDef) {
+    f.span = Span::DUMMY;
+    strip_type(&mut f.ret);
+    for p in &mut f.params {
+        p.span = Span::DUMMY;
+        strip_type(&mut p.ty);
+    }
+    strip_block(&mut f.body);
+}
+
+fn strip_type(t: &mut Type) {
+    for dim in t.dims.iter_mut().flatten() {
+        strip_expr(dim);
+    }
+}
+
+fn strip_decl(d: &mut Decl) {
+    d.span = Span::DUMMY;
+    strip_type(&mut d.ty);
+    for v in &mut d.vars {
+        v.span = Span::DUMMY;
+        strip_type(&mut v.ty);
+        match &mut v.init {
+            Some(Init::Expr(e)) => strip_expr(e),
+            Some(Init::List(es)) => es.iter_mut().for_each(strip_expr),
+            None => {}
+        }
+    }
+}
+
+fn strip_block(b: &mut Block) {
+    b.span = Span::DUMMY;
+    for s in &mut b.stmts {
+        strip_stmt(s);
+    }
+}
+
+fn strip_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Decl(d) => strip_decl(d),
+        Stmt::Expr(e) => strip_expr(e),
+        Stmt::Empty(sp) | Stmt::Break(sp) | Stmt::Continue(sp) => *sp = Span::DUMMY,
+        Stmt::Block(b) => strip_block(b),
+        Stmt::If { cond, then, els, span } => {
+            *span = Span::DUMMY;
+            strip_expr(cond);
+            strip_stmt(then);
+            if let Some(e) = els {
+                strip_stmt(e);
+            }
+        }
+        Stmt::For(f) => {
+            f.span = Span::DUMMY;
+            match &mut f.init {
+                ForInit::Decl(d) => strip_decl(d),
+                ForInit::Expr(e) => strip_expr(e),
+                ForInit::Empty => {}
+            }
+            if let Some(c) = &mut f.cond {
+                strip_expr(c);
+            }
+            if let Some(st) = &mut f.step {
+                strip_expr(st);
+            }
+            strip_stmt(&mut f.body);
+        }
+        Stmt::While { cond, body, span } => {
+            *span = Span::DUMMY;
+            strip_expr(cond);
+            strip_stmt(body);
+        }
+        Stmt::DoWhile { body, cond, span } => {
+            *span = Span::DUMMY;
+            strip_stmt(body);
+            strip_expr(cond);
+        }
+        Stmt::Return(e, sp) => {
+            *sp = Span::DUMMY;
+            if let Some(e) = e {
+                strip_expr(e);
+            }
+        }
+        Stmt::Omp { dir, body, span } => {
+            *span = Span::DUMMY;
+            strip_directive(dir);
+            if let Some(b) = body {
+                strip_stmt(b);
+            }
+        }
+    }
+}
+
+fn strip_directive(d: &mut Directive) {
+    d.span = Span::DUMMY;
+    for c in &mut d.clauses {
+        match c {
+            Clause::Schedule(_, Some(e)) | Clause::NumThreads(e) | Clause::If(e) => strip_expr(e),
+            _ => {}
+        }
+    }
+}
+
+fn strip_expr(e: &mut Expr) {
+    match e {
+        Expr::IntLit { span, .. }
+        | Expr::FloatLit { span, .. }
+        | Expr::StrLit { span, .. }
+        | Expr::CharLit { span, .. }
+        | Expr::Ident { span, .. } => *span = Span::DUMMY,
+        Expr::Index { base, index, span } => {
+            *span = Span::DUMMY;
+            strip_expr(base);
+            strip_expr(index);
+        }
+        Expr::Call { args, span, .. } => {
+            *span = Span::DUMMY;
+            args.iter_mut().for_each(strip_expr);
+        }
+        Expr::Unary { expr, span, .. } | Expr::IncDec { expr, span, .. } => {
+            *span = Span::DUMMY;
+            strip_expr(expr);
+        }
+        Expr::Cast { ty, expr, span } => {
+            *span = Span::DUMMY;
+            strip_type(ty);
+            strip_expr(expr);
+        }
+        Expr::Binary { lhs, rhs, span, .. } | Expr::Assign { lhs, rhs, span, .. } => {
+            *span = Span::DUMMY;
+            strip_expr(lhs);
+            strip_expr(rhs);
+        }
+        Expr::Cond { cond, then, els, span } => {
+            *span = Span::DUMMY;
+            strip_expr(cond);
+            strip_expr(then);
+            strip_expr(els);
+        }
+    }
 }
 
 /// A retained (non-pragma) preprocessor line.

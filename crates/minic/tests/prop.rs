@@ -63,6 +63,17 @@ proptest! {
     }
 
     #[test]
+    fn parse_print_parse_preserves_ast(src in arb_kernel()) {
+        // Structural round-trip: modulo spans, printing loses nothing.
+        let mut u1 = minic::parse(&src).expect("generated kernels parse");
+        let printed = minic::print_unit(&u1);
+        let mut u2 = minic::parse(&printed).expect("printed output reparses");
+        u1.strip_spans();
+        u2.strip_spans();
+        prop_assert_eq!(u1, u2, "round-trip changed the AST for:\n{}", src);
+    }
+
+    #[test]
     fn generated_exprs_roundtrip_constants(e in arb_expr(4)) {
         // If the expression folds to a constant, printing and reparsing
         // folds to the same constant.

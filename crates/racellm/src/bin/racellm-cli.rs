@@ -5,15 +5,29 @@
 //! racellm-cli modality <file.c> <kind>    print source|ast|depgraph|cfg
 //! racellm-cli dataset <out_dir>           export the DRB-ML JSON dataset
 //! racellm-cli corpus                      list the 201 corpus kernels
+//! racellm-cli xcheck --smoke [seed]       deterministic differential smoke gate
+//! racellm-cli xcheck report [seed]        full sweep with shrunk disagreement triage
 //! ```
 
-use racellm::{drb_gen, drb_ml, llm, Pipeline};
+use racellm::{drb_gen, drb_ml, llm, xcheck, Pipeline};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  racellm-cli analyze <file.c>\n  racellm-cli modality <file.c> <source|ast|depgraph|cfg>\n  racellm-cli dataset <out_dir>\n  racellm-cli corpus"
+        "usage:\n  racellm-cli analyze <file.c>\n  racellm-cli modality <file.c> <source|ast|depgraph|cfg>\n  racellm-cli dataset <out_dir>\n  racellm-cli corpus\n  racellm-cli xcheck --smoke [seed]\n  racellm-cli xcheck report [seed]"
     );
     std::process::exit(2);
+}
+
+/// Accept decimal or `0x…` hex seeds.
+fn parse_seed(s: &str) -> u64 {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("bad seed: {s}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -77,6 +91,37 @@ fn main() {
                 std::process::exit(1);
             });
             println!("exported 201 DRB-ML entries to {}", out.display());
+        }
+        Some("xcheck") => {
+            let mode = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let seed = match args.get(2) {
+                Some(s) => parse_seed(s),
+                None => xcheck::XConfig::default().seed,
+            };
+            match mode {
+                "--smoke" => match xcheck::smoke(seed) {
+                    Ok(r) => {
+                        println!(
+                            "xcheck smoke ok: {} kernels + {} flips, {} sem-mutants, {} disagreements ({} dyn errors)",
+                            r.generated,
+                            r.flips,
+                            r.sem_mutants,
+                            r.disagreements.len(),
+                            r.dyn_errors
+                        );
+                        print!("{}", r.matrix.render());
+                    }
+                    Err(e) => {
+                        eprintln!("xcheck smoke FAILED:\n{e}");
+                        std::process::exit(1);
+                    }
+                },
+                "report" => {
+                    let cfg = xcheck::XConfig { seed, ..Default::default() };
+                    print!("{}", xcheck::render_report(&xcheck::run(&cfg)));
+                }
+                _ => usage(),
+            }
         }
         Some("corpus") => {
             for k in drb_gen::corpus() {

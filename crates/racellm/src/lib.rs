@@ -34,6 +34,7 @@ pub use hbsan;
 pub use llm;
 pub use minic;
 pub use racecheck;
+pub use xcheck;
 
 use llm::{KernelView, ModelKind, PromptStrategy, Surrogate};
 use serde::{Deserialize, Serialize};
@@ -108,8 +109,7 @@ impl Pipeline {
         let features = &artifact.features;
         let mut llm_answers = Vec::new();
         for (kind, _s) in &self.surrogates {
-            let depth = llm::ModelProfile::of(*kind).depth;
-            let suspicious = features.race_suspicion(depth) > 0.5;
+            let suspicious = llm::feature_verdict(features, *kind);
             let text = if suspicious {
                 format!("Yes, {} suspects a data race in this code.", kind.name())
             } else {

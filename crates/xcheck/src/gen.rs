@@ -1,0 +1,236 @@
+//! Grammar-directed kernel generator.
+//!
+//! Every generated kernel comes from a small grammar of OpenMP patterns
+//! whose race semantics are decidable from the generative recipe alone:
+//! the pattern parameters (subscript offset, synchronization flavour,
+//! privatization, section overlap, index-map collisions) determine the
+//! expected label, so the differential harness gets machine-derived
+//! ground truth *beyond* the fixed `drb-gen` templates. All kernels are
+//! honest C that parses with `minic`, stays in-bounds, and terminates
+//! well under the `hbsan` fuel budget.
+
+use par::rng::{mix, Rng};
+
+/// Synchronization flavour guarding a shared scalar update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// No protection — every pair of iterations conflicts.
+    None,
+    /// Update wrapped in `#pragma omp critical`.
+    Critical,
+    /// Update under `#pragma omp atomic`.
+    Atomic,
+    /// `reduction(+: …)` clause on the worksharing loop.
+    Reduction,
+}
+
+/// One point in the generator's grammar. The parameters fully determine
+/// the expected race label (see [`Pattern::expected_race`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// `a[i] = a[i + off] + 1` over `i < n - 3`: racy iff `off != 0`
+    /// (loop-carried anti-dependence of distance `off`). The bound
+    /// always leaves headroom 3, so offset perturbations never need a
+    /// bound fix-up to stay in-bounds.
+    Stencil {
+        /// Array length.
+        n: i64,
+        /// Read offset in `0..=3`.
+        off: i64,
+    },
+    /// `sum += a[i]` under the given synchronization: racy iff
+    /// unprotected.
+    ScalarUpdate {
+        /// Array length / trip count.
+        n: i64,
+        /// Guard flavour.
+        sync: SyncKind,
+    },
+    /// Shared temp written then read per-iteration: racy iff the temp
+    /// is not privatized.
+    PrivateTemp {
+        /// Array length / trip count.
+        n: i64,
+        /// Whether `private(t)` is on the loop.
+        private: bool,
+    },
+    /// Two parallel sections: racy iff both write the same scalar.
+    Sections {
+        /// Whether the sections touch disjoint variables.
+        disjoint: bool,
+    },
+    /// `a[idx[i]] = i` with a precomputed index map: racy iff the map
+    /// has collisions (`idx[i] = i % m`). The identity map is race-free
+    /// at runtime but opaque to subscript analysis — an intentional
+    /// static/dynamic disagreement generator.
+    Indirect {
+        /// Array length / trip count.
+        n: i64,
+        /// `Some(m)` for a colliding `i % m` map, `None` for identity.
+        modulo: Option<i64>,
+    },
+}
+
+impl Pattern {
+    /// Ground-truth label, derived from the generative recipe.
+    pub fn expected_race(&self) -> bool {
+        match *self {
+            Pattern::Stencil { off, .. } => off != 0,
+            Pattern::ScalarUpdate { sync, .. } => sync == SyncKind::None,
+            Pattern::PrivateTemp { private, .. } => !private,
+            Pattern::Sections { disjoint } => !disjoint,
+            Pattern::Indirect { modulo, .. } => modulo.is_some(),
+        }
+    }
+
+    /// Short tag used in generated kernel names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Pattern::Stencil { .. } => "stencil",
+            Pattern::ScalarUpdate { .. } => "scalar",
+            Pattern::PrivateTemp { .. } => "privtmp",
+            Pattern::Sections { .. } => "sections",
+            Pattern::Indirect { .. } => "indirect",
+        }
+    }
+}
+
+/// One generated kernel with its machine-derived expected label.
+#[derive(Debug, Clone)]
+pub struct GenKernel {
+    /// Unique, seed-derived name.
+    pub name: String,
+    /// C source (parses with `minic`, runs under `hbsan`).
+    pub code: String,
+    /// Expected race label from the recipe.
+    pub expected: bool,
+    /// The recipe that produced the kernel (drives label-flip gating).
+    pub pattern: Pattern,
+}
+
+/// Optional `schedule` clause texts the generator decorates loops with.
+/// `dynamic` makes the simulated scheduler seed-sensitive, which forces
+/// the adversarial sweep to actually explore schedules.
+const SCHEDULES: [&str; 4] = ["", " schedule(static)", " schedule(static, 4)", " schedule(dynamic)"];
+
+/// Array lengths small enough that interpretation is cheap but large
+/// enough that static chunking separates threads.
+const SIZES: [i64; 3] = [32, 48, 64];
+
+/// Generate `count` kernels, fully determined by `seed`.
+pub fn generate(seed: u64, count: usize) -> Vec<GenKernel> {
+    (0..count).map(|i| gen_one(seed, i)).collect()
+}
+
+fn gen_one(seed: u64, idx: usize) -> GenKernel {
+    let mut rng = Rng::new(mix(seed, idx as u64));
+    let n = SIZES[rng.below(SIZES.len())];
+    let pattern = match rng.below(5) {
+        0 => Pattern::Stencil { n, off: rng.below(4) as i64 },
+        1 => {
+            let sync = match rng.below(4) {
+                0 => SyncKind::None,
+                1 => SyncKind::Critical,
+                2 => SyncKind::Atomic,
+                _ => SyncKind::Reduction,
+            };
+            Pattern::ScalarUpdate { n, sync }
+        }
+        2 => Pattern::PrivateTemp { n, private: rng.below(2) == 0 },
+        3 => Pattern::Sections { disjoint: rng.below(2) == 0 },
+        _ => {
+            let modulo = if rng.below(2) == 0 { Some(1 << (1 + rng.below(3))) } else { None };
+            Pattern::Indirect { n, modulo }
+        }
+    };
+    let sched = SCHEDULES[rng.below(SCHEDULES.len())];
+    let code = emit(&pattern, sched);
+    GenKernel {
+        name: format!("xck-{:08x}-{idx:03}-{}", mix(seed, 0xC0DE) as u32, pattern.tag()),
+        code,
+        expected: pattern.expected_race(),
+        pattern,
+    }
+}
+
+/// Emit C source for a pattern. `sched` only decorates worksharing
+/// loops (sections patterns ignore it).
+fn emit(p: &Pattern, sched: &str) -> String {
+    match *p {
+        Pattern::Stencil { n, off } => {
+            let read = if off == 0 { "a[i]".to_string() } else { format!("a[i + {off}]") };
+            format!(
+                "int a[{n}];\n\nint main() {{\n  int i;\n  for (i = 0; i < {n}; i++) {{\n    a[i] = i;\n  }}\n  #pragma omp parallel for{sched}\n  for (i = 0; i < {bound}; i++) {{\n    a[i] = {read} + 1;\n  }}\n  return 0;\n}}\n",
+                bound = n - 3,
+            )
+        }
+        Pattern::ScalarUpdate { n, sync } => {
+            let (clause, guard, indent, close) = match sync {
+                SyncKind::None => ("", "", "    ", ""),
+                SyncKind::Critical => ("", "    #pragma omp critical\n    {\n", "      ", "    }\n"),
+                SyncKind::Atomic => ("", "    #pragma omp atomic\n", "    ", ""),
+                SyncKind::Reduction => (" reduction(+: sum)", "", "    ", ""),
+            };
+            format!(
+                "int a[{n}];\nint sum;\n\nint main() {{\n  int i;\n  sum = 0;\n  for (i = 0; i < {n}; i++) {{\n    a[i] = i;\n  }}\n  #pragma omp parallel for{sched}{clause}\n  for (i = 0; i < {n}; i++) {{\n{guard}{indent}sum += a[i];\n{close}  }}\n  return 0;\n}}\n",
+            )
+        }
+        Pattern::PrivateTemp { n, private } => {
+            let clause = if private { " private(t)" } else { "" };
+            format!(
+                "int a[{n}];\nint b[{n}];\nint t;\n\nint main() {{\n  int i;\n  for (i = 0; i < {n}; i++) {{\n    a[i] = i;\n  }}\n  #pragma omp parallel for{sched}{clause}\n  for (i = 0; i < {n}; i++) {{\n    t = a[i] * 2;\n    b[i] = t + 1;\n  }}\n  return 0;\n}}\n",
+            )
+        }
+        Pattern::Sections { disjoint } => {
+            let second = if disjoint { "y = y + 2;" } else { "x = x + 2;" };
+            format!(
+                "int x;\nint y;\n\nint main() {{\n  x = 0;\n  y = 0;\n  #pragma omp parallel sections\n  {{\n    #pragma omp section\n    {{\n      x = x + 1;\n    }}\n    #pragma omp section\n    {{\n      {second}\n    }}\n  }}\n  return 0;\n}}\n",
+            )
+        }
+        Pattern::Indirect { n, modulo } => {
+            let map = match modulo {
+                Some(m) => format!("i % {m}"),
+                None => "i".to_string(),
+            };
+            format!(
+                "int a[{n}];\nint idx[{n}];\n\nint main() {{\n  int i;\n  for (i = 0; i < {n}; i++) {{\n    idx[i] = {map};\n  }}\n  for (i = 0; i < {n}; i++) {{\n    a[i] = 0;\n  }}\n  #pragma omp parallel for{sched}\n  for (i = 0; i < {n}; i++) {{\n    a[idx[i]] = i;\n  }}\n  return 0;\n}}\n",
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, 16);
+        let b = generate(42, 16);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.code, y.code);
+            assert_eq!(x.expected, y.expected);
+        }
+        // A different seed changes at least one kernel.
+        let c = generate(43, 16);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.code != y.code));
+    }
+
+    #[test]
+    fn every_kernel_parses_and_runs() {
+        for k in generate(7, 48) {
+            let unit = minic::parse(&k.code).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            hbsan::run(&unit, &hbsan::Config::default())
+                .unwrap_or_else(|e| panic!("{}: {e:?}", k.name));
+        }
+    }
+
+    #[test]
+    fn both_labels_are_generated() {
+        let ks = generate(11, 64);
+        assert!(ks.iter().any(|k| k.expected));
+        assert!(ks.iter().any(|k| !k.expected));
+    }
+}

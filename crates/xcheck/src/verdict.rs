@@ -1,0 +1,97 @@
+//! Uniform verdict adapter over the three detectors.
+//!
+//! One parse feeds all three: `racecheck` (static), `hbsan` (dynamic,
+//! adversarial schedule sweep over the same fixed seed set the umbrella
+//! pipeline uses), and the surrogate-LLM feature verdict at GPT-4 depth
+//! (the uncalibrated path — calibration tables are keyed by corpus
+//! kernel id and say nothing about generated code).
+
+use llm::{CodeFeatures, ModelKind};
+use minic::TranslationUnit;
+
+/// The schedule seeds every sweep uses (same as `Pipeline::analyze`).
+pub const DEFAULT_SEEDS: [u64; 3] = [1, 7, 23];
+
+/// One verdict per detector for one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdicts {
+    /// `racecheck` static verdict.
+    pub stat: bool,
+    /// `hbsan` dynamic verdict; `None` when the interpreter could not
+    /// execute the kernel (fuel, bad address, …).
+    pub dynv: Option<bool>,
+    /// Surrogate-LLM feature verdict (GPT-4 analysis depth).
+    pub llm: bool,
+}
+
+impl Verdicts {
+    /// Whether all three detectors produced a verdict and agree.
+    pub fn unanimous(&self) -> bool {
+        matches!(self.dynv, Some(d) if d == self.stat && self.stat == self.llm)
+    }
+
+    /// The unanimous verdict, if any.
+    pub fn consensus(&self) -> Option<bool> {
+        self.unanimous().then_some(self.stat)
+    }
+
+    /// Human-readable one-liner.
+    pub fn summary(&self) -> String {
+        let yn = |b: bool| if b { "yes" } else { "no" };
+        let d = match self.dynv {
+            Some(d) => yn(d),
+            None => "err",
+        };
+        format!("static={} dynamic={} llm={}", yn(self.stat), d, yn(self.llm))
+    }
+}
+
+/// Run all three detectors on a parsed unit (`code` is only used for
+/// token counting — it must be the unit's source).
+pub fn verdicts_of_unit(unit: &TranslationUnit, code: &str) -> Verdicts {
+    let stat = racecheck::verdict(unit);
+    let dynv = hbsan::verdict(unit, &hbsan::Config::default(), &DEFAULT_SEEDS).ok();
+    let features = CodeFeatures::from_parts(llm::count_tokens(code), Some(unit));
+    let llm = llm::feature_verdict(&features, ModelKind::Gpt4);
+    Verdicts { stat, dynv, llm }
+}
+
+/// Parse and run all three detectors; `None` when the code no longer
+/// parses (a mutation or shrink step went wrong).
+pub fn verdicts_of_code(code: &str) -> Option<Verdicts> {
+    let unit = minic::parse(code).ok()?;
+    Some(verdicts_of_unit(&unit, code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_race_is_unanimous() {
+        let v = verdicts_of_code(
+            "int a[64];\nint main() {\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 61; i++) {\n    a[i] = a[i + 1] + 1;\n  }\n  return 0;\n}\n",
+        )
+        .unwrap();
+        assert!(v.stat);
+        assert_eq!(v.dynv, Some(true));
+        assert!(v.llm);
+        assert!(v.unanimous());
+        assert_eq!(v.consensus(), Some(true));
+    }
+
+    #[test]
+    fn clean_kernel_is_unanimously_clean() {
+        let v = verdicts_of_code(
+            "int a[64];\nint main() {\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 64; i++) {\n    a[i] = i * 2;\n  }\n  return 0;\n}\n",
+        )
+        .unwrap();
+        assert_eq!(v.summary(), "static=no dynamic=no llm=no");
+        assert!(v.unanimous());
+    }
+
+    #[test]
+    fn unparseable_code_yields_none() {
+        assert!(verdicts_of_code("int main() {").is_none());
+    }
+}

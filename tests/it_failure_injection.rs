@@ -2,7 +2,7 @@
 //! pipeline must degrade, never panic (paper §4.5's parsing challenge,
 //! plus frontend robustness).
 
-use racellm::{eval, hbsan, llm, minic, racecheck};
+use racellm::{drb_gen, drb_ml, eval, finetune, hbsan, llm, minic, racecheck};
 
 #[test]
 fn parser_survives_mutated_kernels() {
@@ -98,6 +98,90 @@ void kernel(void)
     let report = p.analyze(exotic).unwrap();
     assert!(report.static_verdict);
     assert_eq!(report.llm_answers.len(), 4);
+}
+
+#[test]
+fn dataset_builder_survives_truncated_kernels() {
+    // The entry builder and the view analysis must degrade cleanly on
+    // kernels whose code has been cut mid-token or whose pair labels
+    // are gone: no panic, and the derived quantities stay sane.
+    for (n, k) in drb_gen::corpus().iter().step_by(23).enumerate() {
+        let mut k = k.clone();
+        let cut = (n * 41) % k.trimmed_code.len().max(1);
+        k.trimmed_code.truncate(cut);
+        k.code.truncate(cut.min(k.code.len()));
+        if n % 2 == 0 {
+            k.pairs.clear();
+        }
+        let e = drb_ml::DrbMlEntry::from_kernel(&k);
+        assert_eq!(e.code_len, e.trimmed_code.len());
+        let _ = e.token_count();
+        let _ = e.fits_prompt_budget();
+        let v = e.to_view(0.5);
+        assert!((0.0..=1.0).contains(&v.difficulty), "{}: {}", k.name, v.difficulty);
+    }
+}
+
+#[test]
+fn dataset_import_survives_corrupt_json() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/it-corrupt-dataset");
+    let _ = std::fs::remove_dir_all(&dir);
+    drb_ml::Dataset::generate().export_dir(&dir).unwrap();
+
+    // Truncate one entry file mid-JSON: import must return Err, not panic.
+    let victim = dir.join("DRB-ML-001.json");
+    let text = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &text[..text.len() / 2]).unwrap();
+    assert!(drb_ml::Dataset::import_dir(&dir).is_err());
+
+    // Replace it with non-JSON garbage: still a clean error.
+    std::fs::write(&victim, "\u{0}\u{0}not json at all").unwrap();
+    assert!(drb_ml::Dataset::import_dir(&dir).is_err());
+
+    // A corrupt index is also a clean error.
+    std::fs::write(&victim, text).unwrap();
+    std::fs::write(dir.join("index.json"), "[\"DRB-ML-001.json\", 17]").unwrap();
+    assert!(drb_ml::Dataset::import_dir(&dir).is_err());
+
+    // And a missing file listed by the index.
+    std::fs::write(dir.join("index.json"), "[\"DRB-ML-999.json\"]").unwrap();
+    assert!(drb_ml::Dataset::import_dir(&dir).is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trainer_survives_degenerate_and_mutated_inputs() {
+    let views = drb_ml::Dataset::generate().subset_views();
+    let surrogate = llm::Surrogate::new(llm::ModelKind::StarChatBeta, &views);
+    let cfg = finetune::TrainConfig { epochs: 2, ..finetune::TrainConfig::for_model(llm::ModelKind::StarChatBeta) };
+
+    // Empty training set.
+    let ft = finetune::FineTuned::train(&surrogate, &[], &cfg);
+    let p = ft.prob(&surrogate, &views[0]);
+    assert!((0.0..=1.0).contains(&p), "{p}");
+
+    // Single-class training set (all racy).
+    let racy: Vec<llm::KernelView> = views.iter().filter(|v| v.race).take(8).cloned().collect();
+    let ft = finetune::FineTuned::train(&surrogate, &racy, &cfg);
+    let _ = ft.predict(&surrogate, &views[0]);
+
+    // Mutated views: truncated code, flipped labels, cleared pairs.
+    let mutated: Vec<llm::KernelView> = views
+        .iter()
+        .step_by(9)
+        .enumerate()
+        .map(|(n, v)| {
+            let cut = (n * 29) % v.trimmed_code.len().max(1);
+            llm::KernelView::new(v.id, v.trimmed_code[..cut].to_string(), !v.race, Vec::new(), v.difficulty)
+        })
+        .collect();
+    let ft = finetune::FineTuned::train(&surrogate, &mutated, &cfg);
+    for v in mutated.iter().take(5) {
+        let p = ft.prob(&surrogate, v);
+        assert!((0.0..=1.0).contains(&p) && p.is_finite(), "{p}");
+    }
 }
 
 #[test]
