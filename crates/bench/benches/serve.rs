@@ -1,0 +1,81 @@
+//! Serving-path microbenches: the three costs every `/v1/analyze`
+//! request pays — HTTP parse, cache lookup, and (on a miss) the full
+//! analysis + serialization — measured in isolation so regressions in
+//! the hot path show up without standing the server up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use racellm::serve::analyze::{response_body, AnalyzeRequest};
+use racellm::serve::cache::ShardedLru;
+use racellm::serve::http::{read_request, Conn, Limits};
+use std::hint::black_box;
+use std::io::Cursor;
+use std::sync::Arc;
+
+fn http_parse(c: &mut Criterion) {
+    let corpus = racellm::drb_gen::corpus();
+    let code = &corpus[0].trimmed_code;
+    let body =
+        serde_json::to_string(&AnalyzeRequest { code: code.clone() }).expect("serializes");
+    let raw = format!(
+        "POST /v1/analyze HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes();
+    let limits = Limits::default();
+    let mut g = c.benchmark_group("serve_http");
+    g.sample_size(50);
+    g.bench_function("parse_analyze_request", |b| {
+        b.iter(|| {
+            let mut conn = Conn::new(Cursor::new(black_box(&raw[..])));
+            black_box(read_request(&mut conn, &limits).expect("parses"))
+        })
+    });
+    g.finish();
+}
+
+fn cache_ops(c: &mut Criterion) {
+    let cache = ShardedLru::new(4096, 8);
+    let corpus = racellm::drb_gen::corpus();
+    let keys: Vec<Arc<str>> = corpus.iter().map(|k| Arc::from(k.trimmed_code.as_str())).collect();
+    for k in &keys {
+        cache.insert(k, Arc::from("body"));
+    }
+    let mut g = c.benchmark_group("serve_cache");
+    g.sample_size(50);
+    g.bench_function("hit_warm_corpus", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cache.get(black_box(&keys[i])).expect("warm"))
+        })
+    });
+    g.bench_function("miss_then_insert_evicting", |b| {
+        let small = ShardedLru::new(64, 8);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let key = format!("kernel-{i}");
+            black_box(small.get(&key));
+            small.insert(&key, Arc::from("body"));
+        })
+    });
+    g.finish();
+}
+
+fn analyze_cold(c: &mut Criterion) {
+    let corpus = racellm::drb_gen::corpus();
+    let mut g = c.benchmark_group("serve_analyze_cold");
+    g.sample_size(10);
+    g.bench_function("response_body_corpus_sweep", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % corpus.len();
+            black_box(response_body(black_box(&corpus[i].trimmed_code)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, http_parse, cache_ops, analyze_cold);
+criterion_main!(benches);

@@ -7,15 +7,161 @@
 //! racellm-cli corpus                      list the 201 corpus kernels
 //! racellm-cli xcheck --smoke [seed]       deterministic differential smoke gate
 //! racellm-cli xcheck report [seed]        full sweep with shrunk disagreement triage
+//! racellm-cli serve [--smoke] [opts]      batched, cached HTTP detection service
+//! racellm-cli loadgen [opts]              closed-loop load generator → BENCH_serve.json
 //! ```
 
-use racellm::{drb_gen, drb_ml, llm, xcheck, Pipeline};
+use racellm::{drb_gen, drb_ml, llm, serve, xcheck, Pipeline};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  racellm-cli analyze <file.c>\n  racellm-cli modality <file.c> <source|ast|depgraph|cfg>\n  racellm-cli dataset <out_dir>\n  racellm-cli corpus\n  racellm-cli xcheck --smoke [seed]\n  racellm-cli xcheck report [seed]"
+        "usage:\n  racellm-cli analyze <file.c>\n  racellm-cli modality <file.c> <source|ast|depgraph|cfg>\n  racellm-cli dataset <out_dir>\n  racellm-cli corpus\n  racellm-cli xcheck --smoke [seed]\n  racellm-cli xcheck report [seed]\n  racellm-cli serve [--smoke] [--addr HOST:PORT] [--workers N] [--batch-max N]\n                    [--queue-cap N] [--cache-cap N] [--deadline-ms N]\n  racellm-cli loadgen [--addr HOST:PORT] [--clients N] [--duration-secs N]\n                      [--warmup-secs N] [--out PATH]  (no --addr: self-serve)"
     );
     std::process::exit(2);
+}
+
+/// Parse `--flag value` pairs from `args`, erroring on unknown flags.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if !allowed.contains(&flag) {
+            eprintln!("unknown flag: {flag}");
+            usage();
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("{flag} needs a value");
+            usage();
+        };
+        out.push((flag.to_string(), value.clone()));
+        i += 2;
+    }
+    out
+}
+
+fn flag_num<T: std::str::FromStr>(flags: &[(String, String)], name: &str, default: T) -> T {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for {name}: {v}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn flag_str(flags: &[(String, String)], name: &str) -> Option<String> {
+    flags.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+}
+
+fn cmd_serve(args: &[String]) -> ! {
+    if args.first().map(String::as_str) == Some("--smoke") {
+        match serve::smoke::run() {
+            Ok(summary) => {
+                print!("{summary}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("serve smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let flags = parse_flags(
+        args,
+        &["--addr", "--workers", "--batch-max", "--queue-cap", "--cache-cap", "--deadline-ms"],
+    );
+    let defaults = serve::ServeConfig::default();
+    let cfg = serve::ServeConfig {
+        addr: flag_str(&flags, "--addr").unwrap_or(defaults.addr.clone()),
+        batch_workers: flag_num(&flags, "--workers", defaults.batch_workers),
+        batch_max: flag_num(&flags, "--batch-max", defaults.batch_max),
+        queue_capacity: flag_num(&flags, "--queue-cap", defaults.queue_capacity),
+        cache_capacity: flag_num(&flags, "--cache-cap", defaults.cache_capacity),
+        deadline_ms: flag_num(&flags, "--deadline-ms", defaults.deadline_ms),
+        ..defaults
+    };
+    match serve::server::start(cfg) {
+        Ok(handle) => {
+            println!("racellm-serve listening on http://{}", handle.addr());
+            println!("  POST /v1/analyze   GET /healthz   GET /metrics");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(e) => {
+            eprintln!("serve failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_loadgen(args: &[String]) -> ! {
+    let flags = parse_flags(
+        args,
+        &["--addr", "--clients", "--duration-secs", "--warmup-secs", "--out"],
+    );
+    let defaults = serve::loadgen::LoadgenConfig::default();
+    // Without --addr, spin an in-process server on an ephemeral port and
+    // drive it over real sockets (the acceptance-bench configuration).
+    let self_serve = match flag_str(&flags, "--addr") {
+        Some(_) => None,
+        None => {
+            let cfg =
+                serve::ServeConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() };
+            let handle = serve::server::start(cfg).unwrap_or_else(|e| {
+                eprintln!("self-serve failed to start: {e}");
+                std::process::exit(1);
+            });
+            println!("self-serve on http://{}", handle.addr());
+            Some(handle)
+        }
+    };
+    let addr = match &self_serve {
+        Some(h) => h.addr(),
+        None => flag_str(&flags, "--addr").expect("checked above").parse().unwrap_or_else(|e| {
+            eprintln!("bad --addr: {e}");
+            std::process::exit(2);
+        }),
+    };
+    let cfg = serve::loadgen::LoadgenConfig {
+        addr,
+        clients: flag_num(&flags, "--clients", defaults.clients),
+        duration: std::time::Duration::from_secs_f64(flag_num(
+            &flags,
+            "--duration-secs",
+            defaults.duration.as_secs_f64(),
+        )),
+        warmup: std::time::Duration::from_secs_f64(flag_num(
+            &flags,
+            "--warmup-secs",
+            defaults.warmup.as_secs_f64(),
+        )),
+        out: Some(
+            flag_str(&flags, "--out").map(Into::into).unwrap_or_else(|| "BENCH_serve.json".into()),
+        ),
+    };
+    match serve::loadgen::run(&cfg) {
+        Ok(report) => {
+            println!("{}", serve::loadgen::summarize(&report));
+            if let Some(h) = self_serve {
+                let drain = h.shutdown();
+                println!(
+                    "drained: {} jobs processed, {} leftover",
+                    drain.jobs_processed, drain.jobs_leftover
+                );
+            }
+            std::process::exit(i32::from(report.status.server_5xx > 0));
+        }
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Accept decimal or `0x…` hex seeds.
@@ -123,6 +269,8 @@ fn main() {
                 _ => usage(),
             }
         }
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("corpus") => {
             for k in drb_gen::corpus() {
                 println!(

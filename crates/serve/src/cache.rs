@@ -1,0 +1,271 @@
+//! Sharded, FxHash-keyed LRU cache of serialized analysis responses.
+//!
+//! The detectors are deterministic (PR 2/PR 3 equivalence suites), so
+//! the serialized response for a kernel is a pure function of its
+//! source bytes — the cache stores those bytes verbatim and a hit is
+//! byte-identical to a fresh computation by construction. Keys are the
+//! *full* kernel source (an `Arc<str>` shared with the entry), never
+//! just the hash: a hash decides the shard and the bucket, but lookup
+//! compares the complete key, so a collision can never serve a
+//! cross-kernel response.
+//!
+//! Each shard is an independent `Mutex` around a classic O(1) LRU —
+//! an index-linked list over a slot arena plus an
+//! [`FxHashMap`](par::hash::FxHashMap) from key to slot — so
+//! connection handlers on different kernels rarely contend.
+
+use par::hash::{FxBuildHasher, FxHashMap};
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: Arc<str>,
+    val: Arc<str>,
+    prev: usize,
+    next: usize,
+}
+
+struct Shard {
+    cap: usize,
+    map: FxHashMap<Arc<str>, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Shard {
+    fn new(cap: usize) -> Shard {
+        Shard {
+            cap,
+            map: FxHashMap::default(),
+            slots: Vec::with_capacity(cap.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(Arc::clone(&self.slots[i].val))
+    }
+
+    /// Returns `true` when an entry was evicted to make room.
+    fn insert(&mut self, key: &str, val: Arc<str>) -> bool {
+        if let Some(&i) = self.map.get(key) {
+            // Idempotent refresh: identical kernels produce identical
+            // bodies, so overwriting is byte-equivalent either way.
+            self.slots[i].val = val;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.cap {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let old = self.slots[lru].key.clone();
+            self.map.remove(&old);
+            self.free.push(lru);
+            evicted = true;
+        }
+        let key: Arc<str> = Arc::from(key);
+        let slot = Slot { key: Arc::clone(&key), val, prev: NIL, next: NIL };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries written (including idempotent refreshes).
+    pub insertions: u64,
+    /// Entries evicted under capacity pressure.
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+}
+
+/// The sharded LRU.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    hasher: FxBuildHasher,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedLru {
+    /// `capacity` total entries spread over `shards` shards (each shard
+    /// holds at least one).
+    pub fn new(capacity: usize, shards: usize) -> ShardedLru {
+        let shards = shards.max(1);
+        let per_shard = (capacity.max(1)).div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hasher: FxBuildHasher::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let h = self.hasher.hash_one(key.as_bytes());
+        // High bits: the low bits already picked the bucket inside the
+        // shard's map; reusing them would correlate shard and bucket.
+        &self.shards[(h >> 48) as usize % self.shards.len()]
+    }
+
+    /// Look a kernel up; counts a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let out = self.shard(key).lock().expect("cache shard poisoned").get(key);
+        match out {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Insert (or refresh) a kernel's serialized response.
+    pub fn insert(&self, key: &str, val: Arc<str>) {
+        let evicted = self.shard(key).lock().expect("cache shard poisoned").insert(key, val);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Live entry count across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_and_miss_counters_move() {
+        let c = ShardedLru::new(8, 2);
+        assert!(c.get("k1").is_none());
+        c.insert("k1", v("v1"));
+        assert_eq!(c.get("k1").as_deref(), Some("v1"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn single_shard_evicts_lru_order() {
+        let c = ShardedLru::new(2, 1);
+        c.insert("a", v("A"));
+        c.insert("b", v("B"));
+        assert_eq!(c.get("a").as_deref(), Some("A")); // refresh a
+        c.insert("c", v("C")); // evicts b
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none());
+        assert_eq!(c.get("a").as_deref(), Some("A"));
+        assert_eq!(c.get("c").as_deref(), Some("C"));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let c = ShardedLru::new(4, 1);
+        c.insert("k", v("same"));
+        c.insert("k", v("same"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn never_serves_cross_key_values() {
+        // Heavy churn through a tiny cache: every hit must carry the
+        // value derived from its own key.
+        let c = ShardedLru::new(16, 4);
+        for round in 0..4 {
+            for i in 0..200 {
+                let k = format!("kernel-{i}");
+                c.insert(&k, Arc::from(format!("body-of-{i}")));
+                let probe = format!("kernel-{}", (i * 7 + round) % 200);
+                if let Some(got) = c.get(&probe) {
+                    assert_eq!(&*got, &format!("body-of-{}", (i * 7 + round) % 200));
+                }
+            }
+        }
+        assert!(c.len() <= 16 + 3, "len {} exceeds capacity (+shard rounding)", c.len());
+        assert!(c.stats().evictions > 0);
+    }
+}

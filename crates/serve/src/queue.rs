@@ -1,0 +1,180 @@
+//! Bounded job queue with admission control and batch pops.
+//!
+//! The queue is the service's backpressure point: connection handlers
+//! `try_push` (never block — a full queue is an immediate HTTP 429 with
+//! `Retry-After`), workers pop *batches* (one blocking wait for the
+//! first job, then a greedy drain plus an optional linger window to
+//! coalesce stragglers). `close` flips drain mode: pushes are refused
+//! but pops keep returning queued jobs until the queue is empty, so a
+//! graceful shutdown finishes everything that was admitted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// Queue at capacity (HTTP 429); the job is handed back.
+    Full(T),
+    /// Queue closed for drain (HTTP 503); the job is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded MPMC queue.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    /// Queue admitting at most `cap` items.
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            state: Mutex::new(State { items: VecDeque::with_capacity(cap.min(1024)), closed: false }),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Non-blocking admission; returns the new depth on success.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Pop up to `max` items: block (in `poll`-sized waits, so closing
+    /// wakes us promptly) until at least one item is available, drain
+    /// greedily, then optionally linger once for stragglers. Returns
+    /// `None` only when the queue is closed *and* empty.
+    pub fn pop_batch(&self, max: usize, linger: Duration, poll: Duration) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if !s.items.is_empty() {
+                break;
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait_timeout(s, poll).expect("queue poisoned").0;
+        }
+        let mut out = Vec::with_capacity(max.min(s.items.len()));
+        while out.len() < max {
+            match s.items.pop_front() {
+                Some(x) => out.push(x),
+                None => break,
+            }
+        }
+        if out.len() < max && !linger.is_zero() && !s.closed {
+            s = self.not_empty.wait_timeout(s, linger).expect("queue poisoned").0;
+            while out.len() < max {
+                match s.items.pop_front() {
+                    Some(x) => out.push(x),
+                    None => break,
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Refuse new pushes; wake all waiting workers.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const POLL: Duration = Duration::from_millis(20);
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        q.close();
+        assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+    }
+
+    #[test]
+    fn batch_pop_coalesces_backlog() {
+        let q = Bounded::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let batch = q.pop_batch(4, Duration::ZERO, POLL).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        let batch = q.pop_batch(32, Duration::ZERO, POLL).unwrap();
+        assert_eq!(batch.len(), 6);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Bounded::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(1, Duration::ZERO, POLL).unwrap(), vec![1]);
+        assert_eq!(q.pop_batch(8, Duration::ZERO, POLL).unwrap(), vec![2]);
+        assert!(q.pop_batch(8, Duration::ZERO, POLL).is_none());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_batch(4, Duration::ZERO, POLL));
+        std::thread::sleep(Duration::from_millis(5));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn linger_picks_up_stragglers() {
+        let q = Arc::new(Bounded::new(8));
+        q.try_push(1u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.try_push(2).unwrap();
+        });
+        let t0 = Instant::now();
+        let batch = q.pop_batch(4, Duration::from_millis(200), POLL).unwrap();
+        pusher.join().unwrap();
+        assert!(batch == vec![1, 2] || batch == vec![1], "{batch:?}");
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+}
