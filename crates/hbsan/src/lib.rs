@@ -35,19 +35,28 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod exec;
 pub mod interp;
+pub mod ir;
+pub mod lower;
 pub mod sched;
 pub mod trace;
 pub mod value;
 pub mod vc;
 
 pub use analyze::{analyze, analyze_events, analyze_reference, Analyzer, DynRace, DynReport};
+pub use exec::{run_oracle, run_program};
 pub use interp::{run, Config, RtError, RunOutput};
+pub use ir::{OracleRun, Program, FORMAT_VERSION};
+pub use lower::{lower, LowerError};
 pub use trace::{Event, EventKind, Op, Site, SiteId, SyncId, SyncKey, Trace};
 pub use vc::{Epoch, VectorClock};
 
 #[cfg(feature = "count-clock-allocs")]
 pub use vc::{clock_counts, reset_clock_counts};
+
+#[cfg(feature = "count-ir-allocs")]
+pub use exec::alloc_count as ir_alloc_count;
 
 use minic::TranslationUnit;
 
@@ -112,6 +121,74 @@ pub fn check_adversarial_with_workers(
         merged.merge(r?);
     }
     Ok(merged)
+}
+
+/// Result of a compiled adversarial sweep: the merged report plus
+/// whether any seed had to fall back to the AST interpreter.
+#[derive(Debug)]
+pub struct CompiledSweep {
+    /// Merged report across seeds (byte-identical to
+    /// [`check_adversarial`]'s).
+    pub report: DynReport,
+    /// True when at least one seed ran on the interpreter instead of the
+    /// bytecode executor (lowering rejected the kernel, no program was
+    /// supplied, or the executor erred).
+    pub fell_back: bool,
+}
+
+/// [`check_adversarial`] through the bytecode fast path.
+///
+/// Pass the kernel's cached lowered [`Program`] (or `None` to force the
+/// interpreter). Each seed runs on the bytecode executor and falls back
+/// to the AST interpreter per [`exec::run_oracle`]'s contract, so the
+/// merged report — and any error — is byte-identical to the
+/// interpreter-only sweep.
+pub fn check_adversarial_compiled(
+    unit: &TranslationUnit,
+    prog: Option<&Program>,
+    base: &Config,
+    seeds: &[u64],
+) -> Result<CompiledSweep, RtError> {
+    check_adversarial_compiled_with_workers(unit, prog, base, seeds, par::default_workers())
+}
+
+/// [`check_adversarial_compiled`] with an explicit worker count.
+pub fn check_adversarial_compiled_with_workers(
+    unit: &TranslationUnit,
+    prog: Option<&Program>,
+    base: &Config,
+    seeds: &[u64],
+    workers: usize,
+) -> Result<CompiledSweep, RtError> {
+    let Some((&first, rest)) = seeds.split_first() else {
+        return Ok(CompiledSweep { report: DynReport::default(), fell_back: false });
+    };
+    let run0 = exec::run_oracle(unit, prog, &Config { seed: first, ..base.clone() });
+    let mut fell_back = run0.fell_back;
+    let out = run0.output?;
+    let mut merged = analyze(&out.trace);
+    if !out.schedule_sensitive || rest.is_empty() {
+        return Ok(CompiledSweep { report: merged, fell_back });
+    }
+    let results = par::par_map(rest, workers, |&seed| {
+        let r = exec::run_oracle(unit, prog, &Config { seed, ..base.clone() });
+        (r.output.map(|o| analyze(&o.trace)), r.fell_back)
+    });
+    for (r, fb) in results {
+        fell_back |= fb;
+        merged.merge(r?);
+    }
+    Ok(CompiledSweep { report: merged, fell_back })
+}
+
+/// [`verdict`] via the bytecode fast path with interpreter fallback.
+pub fn verdict_compiled(
+    unit: &TranslationUnit,
+    prog: Option<&Program>,
+    base: &Config,
+    seeds: &[u64],
+) -> Result<bool, RtError> {
+    check_adversarial_compiled(unit, prog, base, seeds).map(|s| s.report.has_race())
 }
 
 #[cfg(test)]

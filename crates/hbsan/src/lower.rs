@@ -1,0 +1,1460 @@
+//! AST → bytecode lowering for the dynamic oracle.
+//!
+//! Compiles a parsed kernel into an [`ir::Program`] whose replay under
+//! [`exec`](crate::exec) is observably identical to the tree
+//! interpreter: same events in the same order, same interned site
+//! numbering, same printed lines, same exit code, and the same fuel
+//! trajectory (every interpreter `spend()` point is mirrored by the
+//! per-instruction cost table).
+//!
+//! # Lowering invariants
+//!
+//! 1. **Fuel**: the interpreter spends 1 unit per `eval()` entry and 1
+//!    per `exec_stmt()` entry, nothing else. The lowerer accumulates
+//!    those charges into `pending` and attaches them to the next emitted
+//!    instruction; [`Lowerer::bind`] flushes pending charges into a
+//!    `Nop` *before* a jump target so back-edges never re-pay a charge
+//!    that the interpreter paid once.
+//! 2. **Scopes**: variable slots are resolved statically by replaying
+//!    the interpreter's insertion-order scoping at lowering time — a
+//!    declaration's dims/init are lowered *before* its name is bound,
+//!    privatization clauses see earlier clauses' bindings, and
+//!    worksharing-loop walks rebind induction variables in the same
+//!    order the interpreter does.
+//! 3. **Liberal rejection**: any construct whose runtime behavior the
+//!    bytecode cannot reproduce exactly (tasks, sections, `single`,
+//!    `threadprivate`, library-mode kernels without `main`, unresolvable
+//!    names, deep index chains, …) rejects the whole kernel with a
+//!    [`LowerError`]. Callers fall back to the interpreter, so rejecting
+//!    too much is merely slow, never wrong.
+
+use crate::interp::{as_for, atomic_target_var, for_header_mentions};
+use crate::ir::*;
+use crate::value::Value;
+use minic::ast::*;
+use minic::pragma::*;
+use minic::printer::print_expr;
+use std::collections::HashMap;
+
+/// Why lowering rejected a kernel (the caller falls back to the
+/// interpreter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering rejected: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+type LResult<T> = Result<T, LowerError>;
+
+fn reject<T>(msg: impl Into<String>) -> LResult<T> {
+    Err(LowerError(msg.into()))
+}
+
+/// Constant-pool dedup key (`f64` interned by bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ConstKey {
+    Int(i64),
+    Float(u64),
+    Ptr(usize),
+}
+
+/// A statically-resolved variable.
+#[derive(Debug, Clone, Copy)]
+struct ScopeInfo {
+    slot: u32,
+    array: bool,
+}
+
+/// Where an lvalue lives after lowering.
+enum Place {
+    /// Direct slot (any `Ident` lvalue; the slot's own address).
+    Slot(u32),
+    /// Computed address held in a register.
+    Addr(u16),
+}
+
+/// Which instruction field a fixup patches.
+enum Fix {
+    To,
+    DirBrk,
+    DirCont,
+}
+
+struct Lowerer<'a> {
+    instrs: Vec<Instr>,
+    costs: Vec<u32>,
+    pending: u32,
+    consts: Vec<Value>,
+    const_map: HashMap<ConstKey, u32>,
+    sites: Vec<SiteDesc>,
+    site_map: HashMap<(u64, u64), u32>,
+    names: Vec<String>,
+    name_map: HashMap<String, u32>,
+    dirs: Vec<DirIr>,
+    ws: Vec<WsIr>,
+    func_idx: HashMap<&'a str, u32>,
+    param_counts: Vec<usize>,
+    funcs: Vec<FuncIr>,
+    labels: Vec<u32>,
+    fixups: Vec<(u32, Fix, u32)>,
+    globals: HashMap<&'a str, ScopeInfo>,
+    next_global: u32,
+    // Current-function frame state.
+    scopes: Vec<HashMap<&'a str, ScopeInfo>>,
+    next_slot: u32,
+    next_reg: u16,
+    max_reg: u16,
+    loops: Vec<(u32, u32)>, // (break label, continue label)
+}
+
+impl<'a> Lowerer<'a> {
+    fn new() -> Self {
+        Lowerer {
+            instrs: Vec::new(),
+            costs: Vec::new(),
+            pending: 0,
+            consts: Vec::new(),
+            const_map: HashMap::new(),
+            sites: Vec::new(),
+            site_map: HashMap::new(),
+            names: Vec::new(),
+            name_map: HashMap::new(),
+            dirs: Vec::new(),
+            ws: Vec::new(),
+            func_idx: HashMap::new(),
+            param_counts: Vec::new(),
+            funcs: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            globals: HashMap::new(),
+            next_global: 0,
+            scopes: Vec::new(),
+            next_slot: 0,
+            next_reg: 0,
+            max_reg: 0,
+            loops: Vec::new(),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Emission infrastructure
+    // ---------------------------------------------------------------
+
+    /// Accrue fuel charges (one interpreter `spend()` each) onto the
+    /// next emitted instruction.
+    fn charge(&mut self, n: u32) {
+        self.pending += n;
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+        self.costs.push(self.pending);
+        self.pending = 0;
+    }
+
+    fn new_label(&mut self) -> u32 {
+        self.labels.push(u32::MAX);
+        (self.labels.len() - 1) as u32
+    }
+
+    /// Bind a label at the current pc. Pending charges are flushed into
+    /// a `Nop` *before* the label so back-edges skip them.
+    fn bind(&mut self, l: u32) {
+        if self.pending > 0 {
+            self.emit(Instr::Nop);
+        }
+        self.labels[l as usize] = self.instrs.len() as u32;
+    }
+
+    fn jmp(&mut self, l: u32) {
+        let pc = self.instrs.len() as u32;
+        self.emit(Instr::Jmp { to: 0 });
+        self.fixups.push((pc, Fix::To, l));
+    }
+
+    fn jz(&mut self, cond: u16, l: u32) {
+        let pc = self.instrs.len() as u32;
+        self.emit(Instr::Jz { cond, to: 0 });
+        self.fixups.push((pc, Fix::To, l));
+    }
+
+    fn jnz(&mut self, cond: u16, l: u32) {
+        let pc = self.instrs.len() as u32;
+        self.emit(Instr::Jnz { cond, to: 0 });
+        self.fixups.push((pc, Fix::To, l));
+    }
+
+    /// Emit a `Dir` instruction routed to the innermost lexical loop of
+    /// the *current range* (escaping flows terminate the range).
+    fn emit_dir(&mut self, id: u32) {
+        let pc = self.instrs.len() as u32;
+        self.emit(Instr::Dir { id, brk: u32::MAX, cont: u32::MAX });
+        if let Some(&(brk, cont)) = self.loops.last() {
+            self.fixups.push((pc, Fix::DirBrk, brk));
+            self.fixups.push((pc, Fix::DirCont, cont));
+        }
+    }
+
+    /// Lower a helper code range: loop context and pending charges do
+    /// not leak across the range boundary in either direction.
+    fn range(&mut self, f: impl FnOnce(&mut Self) -> LResult<()>) -> LResult<CodeRange> {
+        let saved_loops = std::mem::take(&mut self.loops);
+        let saved_pending = std::mem::take(&mut self.pending);
+        let start = self.instrs.len() as u32;
+        f(self)?;
+        self.emit(Instr::End);
+        let end = self.instrs.len() as u32;
+        self.loops = saved_loops;
+        self.pending = saved_pending;
+        Ok(CodeRange { start, end })
+    }
+
+    // ---------------------------------------------------------------
+    // Pools
+    // ---------------------------------------------------------------
+
+    fn const_idx(&mut self, v: Value) -> u32 {
+        let key = match v {
+            Value::Int(i) => ConstKey::Int(i),
+            Value::Float(f) => ConstKey::Float(f.to_bits()),
+            Value::Ptr(p) => ConstKey::Ptr(p),
+        };
+        if let Some(&i) = self.const_map.get(&key) {
+            return i;
+        }
+        let i = self.consts.len() as u32;
+        self.consts.push(v);
+        self.const_map.insert(key, i);
+        i
+    }
+
+    fn load_const(&mut self, dst: u16, v: Value) {
+        let idx = self.const_idx(v);
+        self.emit(Instr::Const { dst, idx });
+    }
+
+    fn name_idx(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.name_map.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.name_map.insert(name.to_string(), i);
+        i
+    }
+
+    /// Intern an access site, deduplicated exactly like the trace's
+    /// `(span, direction)` key so dynamic first-use interning reproduces
+    /// the interpreter's site numbering.
+    fn site(&mut self, e: &Expr, write: bool) -> u32 {
+        let span = e.span();
+        let key = (
+            ((span.start as u64) << 32) | span.end as u64,
+            ((span.pos.line as u64) << 32) | ((span.pos.col as u64) << 1) | write as u64,
+        );
+        if let Some(&i) = self.site_map.get(&key) {
+            return i;
+        }
+        let var = self.name_idx(e.root_var().unwrap_or("<ptr>"));
+        let i = self.sites.len() as u32;
+        self.sites.push(SiteDesc { span, write, var, text: print_expr(e) });
+        self.site_map.insert(key, i);
+        i
+    }
+
+    // ---------------------------------------------------------------
+    // Registers, slots, scopes
+    // ---------------------------------------------------------------
+
+    fn alloc_reg(&mut self) -> LResult<u16> {
+        let r = self.next_reg;
+        if r == u16::MAX {
+            return reject("register pressure exceeds u16");
+        }
+        self.next_reg += 1;
+        self.max_reg = self.max_reg.max(self.next_reg);
+        Ok(r)
+    }
+
+    fn alloc_regs(&mut self, n: usize) -> LResult<u16> {
+        let r = self.next_reg;
+        if usize::from(r) + n > usize::from(u16::MAX) {
+            return reject("register pressure exceeds u16");
+        }
+        self.next_reg += n as u16;
+        self.max_reg = self.max_reg.max(self.next_reg);
+        Ok(r)
+    }
+
+    fn alloc_slot(&mut self) -> LResult<u32> {
+        let s = self.next_slot;
+        if s >= GLOBAL_BIT {
+            return reject("slot count exceeds GLOBAL_BIT");
+        }
+        self.next_slot += 1;
+        Ok(s)
+    }
+
+    fn alloc_global(&mut self) -> LResult<u32> {
+        let s = self.next_global;
+        if s >= GLOBAL_BIT {
+            return reject("global count exceeds GLOBAL_BIT");
+        }
+        self.next_global += 1;
+        Ok(s | GLOBAL_BIT)
+    }
+
+    fn bind_name(&mut self, name: &'a str, info: ScopeInfo) {
+        self.scopes
+            .last_mut()
+            .expect("a scope is always open while lowering statements")
+            .insert(name, info);
+    }
+
+    /// The interpreter's `lookup`: innermost function scope outward,
+    /// then globals.
+    fn lookup(&self, name: &str) -> Option<ScopeInfo> {
+        for s in self.scopes.iter().rev() {
+            if let Some(i) = s.get(name) {
+                return Some(*i);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn lookup_or_reject(&self, name: &str) -> LResult<ScopeInfo> {
+        self.lookup(name)
+            .ok_or_else(|| LowerError(format!("unresolvable name `{name}`")))
+    }
+
+    /// The interpreter's `outer_binding`: skip the innermost occurrence
+    /// in the function scopes, take the next, else the global binding.
+    fn outer_binding(&self, name: &str) -> Option<ScopeInfo> {
+        let mut found_inner = false;
+        for s in self.scopes.iter().rev() {
+            if let Some(i) = s.get(name) {
+                if found_inner {
+                    return Some(*i);
+                }
+                found_inner = true;
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    /// Lookup excluding the top (privatization) scope, as the
+    /// interpreter's reduction merge does after removing the private
+    /// binding.
+    fn lookup_below_top(&self, name: &str) -> Option<ScopeInfo> {
+        let n = self.scopes.len();
+        for s in self.scopes[..n.saturating_sub(1)].iter().rev() {
+            if let Some(i) = s.get(name) {
+                return Some(*i);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    /// Binding in the function scopes only (no globals), innermost
+    /// first — the interpreter's lastprivate `inner` lookup.
+    fn frame_binding(&self, name: &str) -> Option<ScopeInfo> {
+        for s in self.scopes.iter().rev() {
+            if let Some(i) = s.get(name) {
+                return Some(*i);
+            }
+        }
+        None
+    }
+
+    // ---------------------------------------------------------------
+    // Unit entry
+    // ---------------------------------------------------------------
+
+    fn lower_unit(mut self, unit: &'a TranslationUnit) -> LResult<Program> {
+        // Pass 1: function table (the interpreter's HashMap insert —
+        // later definitions of the same name win) + whole-unit rejects.
+        let mut defs: Vec<&'a FuncDef> = Vec::new();
+        for item in &unit.items {
+            match item {
+                Item::Func(f) => {
+                    self.func_idx.insert(f.name.as_str(), defs.len() as u32);
+                    self.param_counts.push(f.params.len());
+                    defs.push(f);
+                }
+                Item::Pragma(d) => {
+                    if matches!(d.kind, DirectiveKind::Threadprivate(_)) {
+                        return reject("threadprivate");
+                    }
+                }
+                Item::Global(_) => {}
+            }
+        }
+        let Some(&main) = self.func_idx.get("main") else {
+            return reject("library-mode kernel (no main)");
+        };
+
+        // Globals, run once before main.
+        self.next_reg = 0;
+        self.max_reg = 0;
+        let global_init = self.range(|me| {
+            for item in &unit.items {
+                if let Item::Global(d) = item {
+                    me.lower_decl(d, true)?;
+                }
+            }
+            Ok(())
+        })?;
+        let global_regs = self.max_reg;
+
+        // Pass 2: lower every function body.
+        for f in &defs {
+            let n_params = f.params.len();
+            if n_params > u16::MAX as usize {
+                return reject("too many parameters");
+            }
+            self.scopes = vec![HashMap::new()];
+            self.next_slot = 0;
+            self.next_reg = 0;
+            self.max_reg = 0;
+            self.loops.clear();
+            for p in &f.params {
+                let slot = self.alloc_slot()?;
+                self.bind_name(p.name.as_str(), ScopeInfo { slot, array: false });
+            }
+            let entry = self.range(|me| me.lower_block(&f.body))?;
+            self.funcs.push(FuncIr {
+                name: f.name.clone(),
+                entry,
+                n_regs: self.max_reg,
+                n_slots: self.next_slot,
+                n_params: n_params as u16,
+            });
+            self.scopes.clear();
+        }
+
+        // Patch jump targets.
+        let mut instrs = self.instrs;
+        for (pc, fix, l) in &self.fixups {
+            let target = self.labels[*l as usize];
+            if target == u32::MAX {
+                return reject("internal: unresolved label");
+            }
+            match (&mut instrs[*pc as usize], fix) {
+                (Instr::Jmp { to }, Fix::To)
+                | (Instr::Jz { to, .. }, Fix::To)
+                | (Instr::Jnz { to, .. }, Fix::To)
+                | (Instr::ListGuard { to, .. }, Fix::To) => *to = target,
+                (Instr::Dir { brk, .. }, Fix::DirBrk) => *brk = target,
+                (Instr::Dir { cont, .. }, Fix::DirCont) => *cont = target,
+                _ => return reject("internal: fixup target mismatch"),
+            }
+        }
+        if instrs.len() >= u32::MAX as usize {
+            return reject("program too large");
+        }
+
+        Ok(Program {
+            instrs,
+            costs: self.costs,
+            consts: self.consts,
+            sites: self.sites,
+            names: self.names,
+            dirs: self.dirs,
+            ws: self.ws,
+            funcs: self.funcs,
+            main,
+            global_init,
+            n_globals: self.next_global,
+            global_regs,
+        })
+    }
+}
+
+// -------------------------------------------------------------------
+// Expressions
+// -------------------------------------------------------------------
+
+impl<'a> Lowerer<'a> {
+    /// Lower `e` into a fresh register.
+    fn expr(&mut self, e: &'a Expr) -> LResult<u16> {
+        let dst = self.alloc_reg()?;
+        self.expr_into(e, dst)?;
+        Ok(dst)
+    }
+
+    /// Lower `e` so its value ends in `dst`. Charges the `eval()` entry
+    /// spend; temporaries are released before returning.
+    fn expr_into(&mut self, e: &'a Expr, dst: u16) -> LResult<()> {
+        let mark = self.next_reg;
+        self.charge(1);
+        match e {
+            Expr::IntLit { value, .. } => self.load_const(dst, Value::Int(*value)),
+            Expr::FloatLit { value, .. } => self.load_const(dst, Value::Float(*value)),
+            Expr::CharLit { value, .. } => self.load_const(dst, Value::Int(*value as i64)),
+            Expr::StrLit { .. } => self.load_const(dst, Value::Ptr(0)),
+            Expr::Ident { name, .. } => {
+                let info = self.lookup_or_reject(name)?;
+                if info.array {
+                    // Array decays to pointer; not a memory access.
+                    self.emit(Instr::SlotAddr { dst, slot: info.slot });
+                } else {
+                    let site = self.site(e, false);
+                    self.emit(Instr::LoadScalar { dst, slot: info.slot, site });
+                }
+            }
+            Expr::Index { .. } => {
+                let site = self.site(e, false);
+                match self.lower_lvalue(e)? {
+                    Place::Slot(slot) => self.emit(Instr::LoadScalar { dst, slot, site }),
+                    Place::Addr(ptr) => self.emit(Instr::LoadInd { dst, ptr, site }),
+                }
+            }
+            Expr::Unary { op, expr, .. } => match op {
+                UnOp::Neg => {
+                    self.expr_into(expr, dst)?;
+                    self.emit(Instr::Un { op: ArithUn::Neg, dst, src: dst });
+                }
+                UnOp::Not => {
+                    self.expr_into(expr, dst)?;
+                    self.emit(Instr::Un { op: ArithUn::Not, dst, src: dst });
+                }
+                UnOp::BitNot => {
+                    self.expr_into(expr, dst)?;
+                    self.emit(Instr::Un { op: ArithUn::BitNot, dst, src: dst });
+                }
+                UnOp::Deref => {
+                    let site = self.site(e, false);
+                    match self.lower_lvalue(e)? {
+                        Place::Slot(slot) => self.emit(Instr::LoadScalar { dst, slot, site }),
+                        Place::Addr(ptr) => self.emit(Instr::LoadInd { dst, ptr, site }),
+                    }
+                }
+                UnOp::AddrOf => match self.lower_lvalue(expr)? {
+                    Place::Slot(slot) => self.emit(Instr::SlotAddr { dst, slot }),
+                    Place::Addr(p) => self.emit(Instr::ToAddr { dst, src: p }),
+                },
+            },
+            Expr::Binary { op, lhs, rhs, .. } => match op {
+                BinOp::And => {
+                    let l_false = self.new_label();
+                    let l_end = self.new_label();
+                    self.expr_into(lhs, dst)?;
+                    self.jz(dst, l_false);
+                    self.expr_into(rhs, dst)?;
+                    self.emit(Instr::Bool { dst, src: dst });
+                    self.jmp(l_end);
+                    self.bind(l_false);
+                    self.load_const(dst, Value::Int(0));
+                    self.bind(l_end);
+                }
+                BinOp::Or => {
+                    let l_true = self.new_label();
+                    let l_end = self.new_label();
+                    self.expr_into(lhs, dst)?;
+                    self.jnz(dst, l_true);
+                    self.expr_into(rhs, dst)?;
+                    self.emit(Instr::Bool { dst, src: dst });
+                    self.jmp(l_end);
+                    self.bind(l_true);
+                    self.load_const(dst, Value::Int(1));
+                    self.bind(l_end);
+                }
+                _ => {
+                    self.expr_into(lhs, dst)?;
+                    let b = self.alloc_reg()?;
+                    self.expr_into(rhs, b)?;
+                    self.emit(Instr::Bin { op: *op, dst, a: dst, b });
+                }
+            },
+            Expr::Assign { op, lhs, rhs, .. } => {
+                // rhs first, then lvalue resolution (interpreter order).
+                self.expr_into(rhs, dst)?;
+                let place = self.lower_lvalue(lhs)?;
+                if let Some(b) = op.bin_op() {
+                    let site_r = self.site(lhs, false);
+                    let old = self.alloc_reg()?;
+                    match &place {
+                        Place::Slot(slot) => {
+                            self.emit(Instr::LoadScalar { dst: old, slot: *slot, site: site_r })
+                        }
+                        Place::Addr(ptr) => {
+                            self.emit(Instr::LoadInd { dst: old, ptr: *ptr, site: site_r })
+                        }
+                    }
+                    self.emit(Instr::Bin { op: b, dst, a: old, b: dst });
+                }
+                let site_w = self.site(lhs, true);
+                match place {
+                    Place::Slot(slot) => self.emit(Instr::StoreScalar { src: dst, slot, site: site_w }),
+                    Place::Addr(ptr) => self.emit(Instr::StoreInd { src: dst, ptr, site: site_w }),
+                }
+            }
+            Expr::IncDec { inc, prefix, expr, .. } => {
+                let site_r = self.site(expr, false);
+                let site_w = self.site(expr, true);
+                let ptr = match self.lower_lvalue(expr)? {
+                    Place::Slot(slot) => {
+                        let p = self.alloc_reg()?;
+                        self.emit(Instr::SlotAddr { dst: p, slot });
+                        p
+                    }
+                    Place::Addr(p) => p,
+                };
+                self.emit(Instr::IncDec { dst, ptr, site_r, site_w, inc: *inc, prefix: *prefix });
+            }
+            Expr::Cond { cond, then, els, .. } => {
+                let l_else = self.new_label();
+                let l_end = self.new_label();
+                let c = self.alloc_reg()?;
+                self.expr_into(cond, c)?;
+                self.jz(c, l_else);
+                self.expr_into(then, dst)?;
+                self.jmp(l_end);
+                self.bind(l_else);
+                self.expr_into(els, dst)?;
+                self.bind(l_end);
+            }
+            Expr::Cast { ty, expr, .. } => {
+                self.expr_into(expr, dst)?;
+                self.emit(Instr::CoerceV { dst, src: dst, base: ty.base, ptr: ty.pointers > 0 });
+            }
+            Expr::Call { callee, args, .. } => self.lower_call(callee, args, dst)?,
+        }
+        self.next_reg = mark;
+        Ok(())
+    }
+
+    /// Resolve an lvalue, mirroring the interpreter's `resolve_lvalue`
+    /// (no fuel of its own; subscript evaluations charge inside).
+    fn lower_lvalue(&mut self, e: &'a Expr) -> LResult<Place> {
+        match e {
+            Expr::Ident { name, .. } => {
+                let info = self.lookup_or_reject(name)?;
+                Ok(Place::Slot(info.slot))
+            }
+            Expr::Index { .. } => {
+                // Unwind the index chain.
+                let mut idxs = Vec::new();
+                let mut cur = e;
+                while let Expr::Index { base, index, .. } = cur {
+                    idxs.push(index.as_ref());
+                    cur = base;
+                }
+                idxs.reverse();
+                if idxs.len() > MAX_INDEX_CHAIN {
+                    return reject("index chain deeper than 4");
+                }
+                match cur {
+                    Expr::Ident { name, .. } => {
+                        let info = self.lookup_or_reject(name)?;
+                        if info.array {
+                            let idx0 = self.alloc_regs(idxs.len())?;
+                            for (k, idx) in idxs.iter().enumerate() {
+                                self.expr_into(idx, idx0 + k as u16)?;
+                            }
+                            let dst = self.alloc_reg()?;
+                            self.emit(Instr::IndexAddr {
+                                dst,
+                                slot: info.slot,
+                                idx0,
+                                n: idxs.len() as u8,
+                            });
+                            Ok(Place::Addr(dst))
+                        } else {
+                            // Pointer variable: read it, then offset.
+                            let site = self.site(cur, false);
+                            let pv = self.alloc_reg()?;
+                            self.emit(Instr::LoadScalar { dst: pv, slot: info.slot, site });
+                            let dst = self.alloc_reg()?;
+                            self.emit(Instr::ToAddr { dst, src: pv });
+                            for idx in &idxs {
+                                let off = self.alloc_reg()?;
+                                self.expr_into(idx, off)?;
+                                self.emit(Instr::AddOff { dst, base: dst, off });
+                            }
+                            self.emit(Instr::CheckAddr { src: dst });
+                            Ok(Place::Addr(dst))
+                        }
+                    }
+                    other => {
+                        // e.g. (p + 1)[i]: evaluate base as pointer value.
+                        let dst = self.alloc_reg()?;
+                        self.expr_into(other, dst)?;
+                        self.emit(Instr::AssertPtr { src: dst });
+                        for idx in &idxs {
+                            let off = self.alloc_reg()?;
+                            self.expr_into(idx, off)?;
+                            self.emit(Instr::AddOff { dst, base: dst, off });
+                        }
+                        Ok(Place::Addr(dst))
+                    }
+                }
+            }
+            Expr::Unary { op: UnOp::Deref, expr, .. } => {
+                let dst = self.alloc_reg()?;
+                self.expr_into(expr, dst)?;
+                self.emit(Instr::AssertPtr { src: dst });
+                self.emit(Instr::CheckAddr { src: dst });
+                Ok(Place::Addr(dst))
+            }
+            Expr::Cast { expr, .. } => self.lower_lvalue(expr),
+            other => reject(format!("unsupported lvalue shape `{}`", print_expr(other))),
+        }
+    }
+
+    fn lower_call(&mut self, callee: &'a str, args: &'a [Expr], dst: u16) -> LResult<()> {
+        // Argument-arity guards: the interpreter indexes `args[0]` /
+        // `args[1]` unchecked for these builtins — a kernel that would
+        // panic there is rejected so the caller reports a clean
+        // fallback instead (the latent-panic fix).
+        let need = |n: usize| -> LResult<()> {
+            if args.len() < n {
+                reject(format!("builtin `{callee}` needs {n} argument(s), got {}", args.len()))
+            } else {
+                Ok(())
+            }
+        };
+        match callee {
+            "omp_get_thread_num" => self.emit(Instr::GetTid { dst }),
+            "omp_get_num_threads" => self.emit(Instr::GetNumThreads { dst }),
+            "omp_get_max_threads" => self.emit(Instr::GetMaxThreads { dst }),
+            "omp_set_num_threads" => {
+                need(1)?;
+                self.expr(&args[0])?;
+                self.load_const(dst, Value::Int(0));
+            }
+            "omp_get_wtime" => self.load_const(dst, Value::Float(0.0)),
+            "omp_init_lock" | "omp_destroy_lock" | "omp_init_nest_lock"
+            | "omp_destroy_nest_lock" => self.load_const(dst, Value::Int(0)),
+            "omp_set_lock" | "omp_set_nest_lock" => {
+                need(1)?;
+                let h = self.expr(&args[0])?;
+                self.emit(Instr::LockAcq { src: h });
+                self.load_const(dst, Value::Int(0));
+            }
+            "omp_unset_lock" | "omp_unset_nest_lock" => {
+                need(1)?;
+                let h = self.expr(&args[0])?;
+                self.emit(Instr::LockRel { src: h });
+                self.load_const(dst, Value::Int(0));
+            }
+            "omp_test_lock" => {
+                need(1)?;
+                let h = self.expr(&args[0])?;
+                self.emit(Instr::LockAcq { src: h });
+                self.load_const(dst, Value::Int(1));
+            }
+            "printf" => {
+                let n = args.len().saturating_sub(1);
+                let args0 = self.alloc_regs(n)?;
+                for (k, a) in args.iter().skip(1).enumerate() {
+                    self.expr_into(a, args0 + k as u16)?;
+                }
+                self.emit(Instr::Printf { args0, n: n as u16 });
+                self.load_const(dst, Value::Int(0));
+            }
+            "malloc" => {
+                need(1)?;
+                let bytes = self.expr(&args[0])?;
+                self.emit(Instr::Malloc { dst, bytes });
+            }
+            "calloc" => {
+                need(2)?;
+                let bytes = self.expr(&args[0])?;
+                let sz = self.expr(&args[1])?;
+                self.emit(Instr::Calloc { dst, bytes, sz });
+            }
+            "free" | "assert" | "srand" => {
+                need(1)?;
+                self.expr(&args[0])?;
+                self.load_const(dst, Value::Int(0));
+            }
+            "fabs" | "fabsf" => self.math1(MathFn::Fabs, args, dst)?,
+            "sqrt" | "sqrtf" => self.math1(MathFn::Sqrt, args, dst)?,
+            "sin" => self.math1(MathFn::Sin, args, dst)?,
+            "cos" => self.math1(MathFn::Cos, args, dst)?,
+            "exp" => self.math1(MathFn::Exp, args, dst)?,
+            "log" => self.math1(MathFn::Log, args, dst)?,
+            "abs" => self.math1(MathFn::AbsInt, args, dst)?,
+            "pow" => self.math2(MathFn::Pow, args, dst)?,
+            "fmax" => self.math2(MathFn::Fmax, args, dst)?,
+            "fmin" => self.math2(MathFn::Fmin, args, dst)?,
+            "exit" => {
+                need(1)?;
+                self.expr(&args[0])?;
+                self.emit(Instr::Trap);
+            }
+            "rand" => self.load_const(dst, Value::Int(42)),
+            _ => {
+                if let Some(&func) = self.func_idx.get(callee) {
+                    // User function: exactly `params.len()` args are
+                    // evaluated (the interpreter zips params with args);
+                    // fewer args than params would leave them unbound.
+                    let f = func;
+                    let n_params = self.funcs_params(f);
+                    if args.len() < n_params {
+                        return reject(format!(
+                            "call `{callee}` with {} args for {n_params} params",
+                            args.len()
+                        ));
+                    }
+                    let args0 = self.alloc_regs(n_params)?;
+                    for (k, a) in args.iter().take(n_params).enumerate() {
+                        self.expr_into(a, args0 + k as u16)?;
+                    }
+                    self.emit(Instr::CallUser { dst, func: f, args0, n_args: n_params as u16 });
+                } else {
+                    // Unknown extern: evaluate args for effects, return 0.
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    self.load_const(dst, Value::Int(0));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn math1(&mut self, f: MathFn, args: &'a [Expr], dst: u16) -> LResult<()> {
+        if args.is_empty() {
+            return reject("math builtin needs 1 argument");
+        }
+        let src = self.expr(&args[0])?;
+        self.emit(Instr::Math1 { f, dst, src });
+        Ok(())
+    }
+
+    fn math2(&mut self, f: MathFn, args: &'a [Expr], dst: u16) -> LResult<()> {
+        if args.len() < 2 {
+            return reject("math builtin needs 2 arguments");
+        }
+        let a = self.expr(&args[0])?;
+        let b = self.expr(&args[1])?;
+        self.emit(Instr::Math2 { f, dst, a, b });
+        Ok(())
+    }
+
+    fn funcs_params(&self, func: u32) -> usize {
+        self.param_counts[func as usize]
+    }
+}
+
+// -------------------------------------------------------------------
+// Statements and declarations
+// -------------------------------------------------------------------
+
+impl<'a> Lowerer<'a> {
+    fn lower_block(&mut self, b: &'a Block) -> LResult<()> {
+        self.scopes.push(HashMap::new());
+        let r = b.stmts.iter().try_for_each(|s| self.lower_stmt(s));
+        self.scopes.pop();
+        r
+    }
+
+    /// Lower a statement, charging its `exec_stmt()` entry spend.
+    fn lower_stmt(&mut self, s: &'a Stmt) -> LResult<()> {
+        let mark = self.next_reg;
+        self.charge(1);
+        match s {
+            Stmt::Decl(d) => self.lower_decl(d, false)?,
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+            }
+            Stmt::Empty(_) => {}
+            Stmt::Block(b) => self.lower_block(b)?,
+            Stmt::If { cond, then, els, .. } => {
+                let l_end = self.new_label();
+                let c = self.expr(cond)?;
+                match els {
+                    Some(e) => {
+                        let l_else = self.new_label();
+                        self.jz(c, l_else);
+                        self.lower_stmt(then)?;
+                        self.jmp(l_end);
+                        self.bind(l_else);
+                        self.lower_stmt(e)?;
+                    }
+                    None => {
+                        self.jz(c, l_end);
+                        self.lower_stmt(then)?;
+                    }
+                }
+                self.bind(l_end);
+            }
+            Stmt::For(f) => self.lower_for_inner(f)?,
+            Stmt::While { cond, body, .. } => {
+                let l_cond = self.new_label();
+                let l_end = self.new_label();
+                self.bind(l_cond);
+                let c = self.expr(cond)?;
+                self.jz(c, l_end);
+                self.loops.push((l_end, l_cond));
+                self.lower_stmt(body)?;
+                self.loops.pop();
+                self.jmp(l_cond);
+                self.bind(l_end);
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                let l_body = self.new_label();
+                let l_check = self.new_label();
+                let l_end = self.new_label();
+                self.bind(l_body);
+                self.loops.push((l_end, l_check));
+                self.lower_stmt(body)?;
+                self.loops.pop();
+                self.bind(l_check);
+                let c = self.expr(cond)?;
+                self.jnz(c, l_body);
+                self.bind(l_end);
+            }
+            Stmt::Return(e, _) => {
+                let src = match e {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        let r = self.alloc_reg()?;
+                        self.load_const(r, Value::Int(0));
+                        r
+                    }
+                };
+                self.emit(Instr::Ret { src });
+            }
+            Stmt::Break(_) => match self.loops.last() {
+                Some(&(brk, _)) => self.jmp(brk),
+                None => self.emit(Instr::FlowBrk),
+            },
+            Stmt::Continue(_) => match self.loops.last() {
+                Some(&(_, cont)) => self.jmp(cont),
+                None => self.emit(Instr::FlowCont),
+            },
+            Stmt::Omp { dir, body, .. } => self.lower_directive(dir, body.as_deref())?,
+        }
+        self.next_reg = mark;
+        Ok(())
+    }
+
+    /// Lower a `for` loop body (no `exec_stmt` entry charge: the
+    /// worksharing fallback calls `exec_for` directly).
+    fn lower_for_inner(&mut self, f: &'a ForStmt) -> LResult<()> {
+        self.scopes.push(HashMap::new());
+        let r = self.lower_for_parts(f);
+        self.scopes.pop();
+        r
+    }
+
+    fn lower_for_parts(&mut self, f: &'a ForStmt) -> LResult<()> {
+        match &f.init {
+            ForInit::Empty => {}
+            ForInit::Decl(d) => self.lower_decl(d, false)?,
+            ForInit::Expr(e) => {
+                self.expr(e)?;
+            }
+        }
+        let l_cond = self.new_label();
+        let l_step = self.new_label();
+        let l_end = self.new_label();
+        self.bind(l_cond);
+        if let Some(c) = &f.cond {
+            let r = self.expr(c)?;
+            self.jz(r, l_end);
+        }
+        self.loops.push((l_end, l_step));
+        self.lower_stmt(&f.body)?;
+        self.loops.pop();
+        self.bind(l_step);
+        if let Some(st) = &f.step {
+            self.expr(st)?;
+        }
+        self.jmp(l_cond);
+        self.bind(l_end);
+        Ok(())
+    }
+
+    /// Lower a declaration: dims and init are evaluated *before* the name
+    /// binds (mirroring `exec_decl`'s insertion order).
+    fn lower_decl(&mut self, d: &'a Decl, global: bool) -> LResult<()> {
+        for v in &d.vars {
+            let mark = self.next_reg;
+            let n_dims = v.ty.dims.len();
+            if n_dims > MAX_INDEX_CHAIN {
+                return reject(format!("`{}` has {n_dims} dimensions", v.name));
+            }
+            let dims0 = self.alloc_regs(n_dims)?;
+            for (k, dim) in v.ty.dims.iter().enumerate() {
+                match dim {
+                    Some(e) => self.expr_into(e, dims0 + k as u16)?,
+                    None => self.load_const(dims0 + k as u16, Value::Int(0)),
+                }
+            }
+            let slot = if global { self.alloc_global()? } else { self.alloc_slot()? };
+            self.emit(Instr::AllocSlot { slot, dims0, n_dims: n_dims as u8 });
+            match &v.init {
+                Some(Init::Expr(e)) => {
+                    let t = self.expr(e)?;
+                    self.emit(Instr::CoerceV {
+                        dst: t,
+                        src: t,
+                        base: d.ty.base,
+                        ptr: v.ty.pointers > 0,
+                    });
+                    self.emit(Instr::StoreSlotInit { slot, src: t });
+                }
+                Some(Init::List(es)) => {
+                    let l_end = self.new_label();
+                    for (i, e) in es.iter().enumerate() {
+                        let pc = self.instrs.len() as u32;
+                        self.emit(Instr::ListGuard { slot, i: i as u32, to: 0 });
+                        self.fixups.push((pc, Fix::To, l_end));
+                        let t = self.expr(e)?;
+                        self.emit(Instr::CoerceV { dst: t, src: t, base: d.ty.base, ptr: false });
+                        self.emit(Instr::ListStore { slot, i: i as u32, src: t });
+                        self.next_reg = t;
+                    }
+                    self.bind(l_end);
+                }
+                None => {}
+            }
+            let info = ScopeInfo { slot, array: !v.ty.dims.is_empty() };
+            if global {
+                self.globals.insert(v.name.as_str(), info);
+            } else {
+                self.bind_name(v.name.as_str(), info);
+            }
+            self.next_reg = mark;
+        }
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------------
+// Directives
+// -------------------------------------------------------------------
+
+impl<'a> Lowerer<'a> {
+    /// Append a descriptor and emit the `Dir` instruction referencing it
+    /// (carrying whatever fuel charge is pending).
+    fn push_dir(&mut self, d: DirIr) {
+        let id = self.dirs.len() as u32;
+        self.dirs.push(d);
+        self.emit_dir(id);
+    }
+
+    /// Lower `#pragma omp …` applied to `body`. Descriptor code ranges
+    /// are emitted inline, jumped over by the fall-through path; the
+    /// statement's entry charge rides on that jump.
+    fn lower_directive(&mut self, dir: &'a Directive, body: Option<&'a Stmt>) -> LResult<()> {
+        use DirectiveKind as DK;
+        // Rangeless descriptors first (no jump needed).
+        match &dir.kind {
+            DK::Barrier => {
+                self.push_dir(DirIr::Barrier);
+                return Ok(());
+            }
+            // `taskwait` with no tasks pending (task constructs reject
+            // below) is a no-op, like `flush`.
+            DK::Taskwait | DK::Flush(_) => {
+                self.push_dir(DirIr::Flush);
+                return Ok(());
+            }
+            DK::Threadprivate(_) => return reject("threadprivate"),
+            DK::Task => return reject("task"),
+            DK::Single => return reject("single"),
+            DK::Sections => return reject("sections"),
+            DK::ParallelSections => return reject("parallel sections"),
+            DK::Section if body.is_none() => {
+                self.push_dir(DirIr::Other { body: None });
+                return Ok(());
+            }
+            DK::Other(_) if body.is_none() => {
+                self.push_dir(DirIr::Other { body: None });
+                return Ok(());
+            }
+            _ if body.is_none() => {
+                // `body_or_ok` fails at runtime.
+                self.push_dir(DirIr::Trap);
+                return Ok(());
+            }
+            _ => {}
+        }
+        let body = body.expect("checked above");
+        let l_dir = self.new_label();
+        self.jmp(l_dir);
+        let d = match &dir.kind {
+            DK::Section | DK::Taskgroup | DK::Other(_) => {
+                let r = self.range(|me| me.lower_stmt(body))?;
+                DirIr::Other { body: Some(r) }
+            }
+            DK::Master => {
+                let r = self.range(|me| me.lower_stmt(body))?;
+                DirIr::Master { body: r }
+            }
+            DK::Critical(name) => {
+                let r = self.range(|me| me.lower_stmt(body))?;
+                DirIr::Critical {
+                    name: name.clone().unwrap_or_else(|| "<anon>".into()),
+                    body: r,
+                }
+            }
+            DK::Atomic(kind) => {
+                let target = atomic_target_var(*kind, body).map(|v| self.name_idx(&v));
+                let r = self.range(|me| me.lower_stmt(body))?;
+                DirIr::Atomic { target, body: r }
+            }
+            DK::Ordered => {
+                let r = self.range(|me| me.lower_stmt(body))?;
+                DirIr::Ordered { key: dir.span.start as usize, body: r }
+            }
+            DK::For | DK::ForSimd | DK::Simd => match as_for(body) {
+                Some(fs) => {
+                    let plain = self.range(|me| me.lower_stmt(body))?;
+                    let idx = self.lower_ws(dir, fs, Some(plain))?;
+                    DirIr::Ws(idx)
+                }
+                None => {
+                    // Loop directive on a non-loop runs the body as-is
+                    // on both the in-region and orphaned paths.
+                    let r = self.range(|me| me.lower_stmt(body))?;
+                    DirIr::Other { body: Some(r) }
+                }
+            },
+            DK::Parallel | DK::Target => {
+                let p = self.lower_parallel(dir, body, false)?;
+                DirIr::Parallel(p)
+            }
+            DK::ParallelFor | DK::ParallelForSimd | DK::TargetParallelFor => {
+                let p = self.lower_parallel(dir, body, true)?;
+                DirIr::Parallel(p)
+            }
+            DK::Barrier
+            | DK::Taskwait
+            | DK::Flush(_)
+            | DK::Threadprivate(_)
+            | DK::Task
+            | DK::Single
+            | DK::Sections
+            | DK::ParallelSections => unreachable!("handled above"),
+        };
+        self.bind(l_dir);
+        self.push_dir(d);
+        Ok(())
+    }
+
+    fn lower_parallel(
+        &mut self,
+        dir: &'a Directive,
+        body: &'a Stmt,
+        loopish: bool,
+    ) -> LResult<ParallelIr> {
+        let serial_const = dir.clauses.iter().any(|c| match c {
+            Clause::NumThreads(e) => e.const_int() == Some(1),
+            Clause::If(e) => e.const_int() == Some(0),
+            _ => false,
+        });
+        let team = dir
+            .num_threads()
+            .and_then(|e| e.const_int())
+            .and_then(|v| u32::try_from(v).ok())
+            .filter(|v| *v > 0);
+
+        // Serial paths carry no privatization.
+        let plain_serial = self.range(|me| me.lower_stmt(body))?;
+        let ws_serial = match (loopish, as_for(body)) {
+            (true, Some(fs)) => Some(self.lower_ws(dir, fs, None)?),
+            _ => None,
+        };
+
+        // Fork path: privatization scope, clause order.
+        self.scopes.push(HashMap::new());
+        let built = self.lower_fork(dir, body, loopish);
+        self.scopes.pop();
+        let (privs, ws_fork, plain_fork) = built?;
+
+        Ok(ParallelIr { serial_const, team, privs, ws_fork, plain_fork, ws_serial, plain_serial })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn lower_fork(
+        &mut self,
+        dir: &'a Directive,
+        body: &'a Stmt,
+        loopish: bool,
+    ) -> LResult<(PrivSpec, Option<u32>, Option<CodeRange>)> {
+        let mut ops = Vec::new();
+        for c in &dir.clauses {
+            match c {
+                Clause::Private(vars) | Clause::Lastprivate(vars) => {
+                    for v in vars {
+                        let outer = self.lookup(v);
+                        let slot = self.alloc_slot()?;
+                        ops.push(PrivOp::Fresh { slot, outer: outer.map(|i| i.slot) });
+                        let array = outer.is_some_and(|i| i.array);
+                        self.bind_name(v.as_str(), ScopeInfo { slot, array });
+                    }
+                }
+                Clause::Firstprivate(vars) | Clause::Linear(vars) => {
+                    for v in vars {
+                        if let Some(outer) = self.lookup(v) {
+                            let slot = self.alloc_slot()?;
+                            ops.push(PrivOp::Copy { slot, outer: outer.slot });
+                            self.bind_name(v.as_str(), ScopeInfo { slot, array: outer.array });
+                        }
+                    }
+                }
+                Clause::Reduction(op, vars) => {
+                    for v in vars {
+                        let slot = self.alloc_slot()?;
+                        ops.push(PrivOp::Red { slot, op: *op });
+                        self.bind_name(v.as_str(), ScopeInfo { slot, array: false });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let (ws_fork, plain_fork) = match (loopish, as_for(body)) {
+            (true, Some(fs)) => (Some(self.lower_ws(dir, fs, None)?), None),
+            _ => (None, Some(self.range(|me| me.lower_stmt(body))?)),
+        };
+
+        // Reduction merges: first clause's operator, final binding's
+        // slot, one merge per variable (the interpreter removes the
+        // private binding after merging, so later clauses see nothing).
+        let mut merges = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for c in &dir.clauses {
+            if let Clause::Reduction(op, vars) = c {
+                for v in vars {
+                    if !seen.insert(v.as_str()) {
+                        continue;
+                    }
+                    let private = self
+                        .scopes
+                        .last()
+                        .and_then(|s| s.get(v.as_str()))
+                        .map(|i| i.slot)
+                        .ok_or_else(|| LowerError(format!("internal: `{v}` not privatized")))?;
+                    let outer = self.lookup_below_top(v).map(|i| i.slot);
+                    merges.push(RedMerge { op: *op, private, outer });
+                }
+            }
+        }
+
+        Ok((PrivSpec { ops, merges }, ws_fork, plain_fork))
+    }
+
+    /// Lower a worksharing loop into a [`WsIr`] descriptor, replaying
+    /// the interpreter's scope mutations (init, induction rebind,
+    /// collapse prebinds, level-init rebinds) in execution order.
+    fn lower_ws(
+        &mut self,
+        dir: &'a Directive,
+        fs: &'a ForStmt,
+        plain: Option<CodeRange>,
+    ) -> LResult<u32> {
+        use DirectiveKind as DK;
+        self.scopes.push(HashMap::new());
+        let built = self.lower_ws_parts(dir, fs, plain);
+        self.scopes.pop();
+        let ws = built?;
+        if self.ws.len() >= u32::MAX as usize {
+            return reject("too many worksharing loops");
+        }
+        let idx = self.ws.len() as u32;
+        let phase_end = !dir.has_nowait()
+            && !matches!(dir.kind, DK::Simd)
+            && !dir.kind.creates_parallelism();
+        self.ws.push(WsIr { phase_end, ..ws });
+        Ok(idx)
+    }
+
+    fn lower_ws_parts(
+        &mut self,
+        dir: &'a Directive,
+        fs: &'a ForStmt,
+        plain: Option<CodeRange>,
+    ) -> LResult<WsIr> {
+        use DirectiveKind as DK;
+        let init = match &fs.init {
+            ForInit::Empty => WsInit::None,
+            ForInit::Decl(d) => WsInit::Decl(self.range(|me| me.lower_decl(d, false))?),
+            ForInit::Expr(e) => WsInit::Expr(self.range(|me| {
+                me.expr(e)?;
+                Ok(())
+            })?),
+        };
+
+        // Rebind the induction variable to a fresh per-thread slot; its
+        // seed value comes from the post-init binding.
+        let ivar_name = fs.induction_var();
+        let mut ivar_slot = None;
+        if let Some(v) = ivar_name {
+            let src = self.lookup(v).map(|i| i.slot);
+            let slot = self.alloc_slot()?;
+            self.bind_name(v, ScopeInfo { slot, array: false });
+            ivar_slot = Some((slot, src));
+        }
+
+        // Pre-bind collapsed inner induction variables.
+        let mut prebind = Vec::new();
+        {
+            let mut nested = fs;
+            for _ in 1..dir.collapse() {
+                let Some(nf) = as_for(&nested.body) else { break };
+                if let Some(v) = nf.induction_var() {
+                    let slot = self.alloc_slot()?;
+                    self.bind_name(v, ScopeInfo { slot, array: false });
+                    prebind.push(slot);
+                }
+                nested = nf;
+            }
+        }
+
+        // Enumeration header (cond/step see the prebind slots).
+        let ivar = match ivar_slot {
+            Some((slot, src)) => {
+                let cond = match &fs.cond {
+                    Some(c) => Some(self.expr_code(c)?),
+                    None => None,
+                };
+                let step = match &fs.step {
+                    Some(st) => Some(self.range(|me| {
+                        me.expr(st)?;
+                        Ok(())
+                    })?),
+                    None => None,
+                };
+                Some(IvarIr { src, slot, cond, step })
+            }
+            None => None,
+        };
+
+        // Collapse walk: enumerable rectangular inner levels.
+        let mut levels = Vec::new();
+        let mut partial = None;
+        let collapse = dir.collapse() as usize;
+        if let Some(v) = ivar_name {
+            if collapse > 1 {
+                let mut outer_vars = vec![v.to_string()];
+                let mut cur_for = fs;
+                for _ in 1..collapse {
+                    let Some(nf) = as_for(&cur_for.body) else { break };
+                    let Some(nv) = nf.induction_var() else { break };
+                    if for_header_mentions(nf, &outer_vars) {
+                        break; // triangular nest
+                    }
+                    if matches!(nf.init, ForInit::Empty) {
+                        break; // enumerate_inner_for bails before running anything
+                    }
+                    let init_range = self.range(|me| match &nf.init {
+                        ForInit::Decl(d) => me.lower_decl(d, false),
+                        ForInit::Expr(e) => {
+                            me.expr(e)?;
+                            Ok(())
+                        }
+                        ForInit::Empty => unreachable!("checked above"),
+                    })?;
+                    let (binding, cond) = match (self.lookup(nv), &nf.cond) {
+                        (Some(b), Some(c)) => (b, c),
+                        _ => {
+                            // The init ran (rebinding/allocating), then
+                            // the walk aborted: replay just the init.
+                            partial = Some(init_range);
+                            break;
+                        }
+                    };
+                    let slot = binding.slot;
+                    let cond = self.expr_code(cond)?;
+                    let step = match &nf.step {
+                        Some(st) => Some(self.range(|me| {
+                            me.expr(st)?;
+                            Ok(())
+                        })?),
+                        None => None,
+                    };
+                    levels.push(LevelIr { init: init_range, slot, cond, step });
+                    outer_vars.push(nv.to_string());
+                    cur_for = nf;
+                }
+            }
+        }
+        let use_collapse = ivar.is_some() && 1 + levels.len() == collapse;
+
+        // Innermost body after the collapsed levels.
+        let collapse_depth = if use_collapse { 1 + levels.len() } else { 1 };
+        let innermost: &Stmt = {
+            let mut b: &Stmt = &fs.body;
+            let mut cur = fs;
+            for _ in 1..collapse_depth {
+                if let Some(nf) = as_for(&cur.body) {
+                    b = &nf.body;
+                    cur = nf;
+                }
+            }
+            b
+        };
+        let body = self.range(|me| me.lower_stmt(innermost))?;
+
+        // Schedule chunk expression (evaluated on cache miss, events on).
+        let sched = match dir.schedule() {
+            Some((k, ch)) => {
+                let chunk = match ch {
+                    Some(e) => Some(self.expr_code(e)?),
+                    None => None,
+                };
+                Some((*k, chunk))
+            }
+            None => None,
+        };
+
+        // Non-canonical loops re-run the whole `for` on thread 0.
+        let fallback = match ivar {
+            None => Some(self.range(|me| me.lower_for_inner(fs))?),
+            Some(_) => None,
+        };
+
+        // lastprivate writebacks (resolved against the fully-built scope).
+        let mut lastpriv = Vec::new();
+        for c in &dir.clauses {
+            if let Clause::Lastprivate(vars) = c {
+                for v in vars {
+                    let Some(inner) = self.frame_binding(v) else { continue };
+                    let outer = self.outer_binding(v);
+                    lastpriv.push((inner.slot, outer.map(|i| i.slot)));
+                }
+            }
+        }
+
+        Ok(WsIr {
+            key: dir.span.start,
+            plain,
+            init,
+            ivar,
+            prebind,
+            levels,
+            partial,
+            use_collapse,
+            body,
+            fallback,
+            sched,
+            simd_only: dir.kind == DK::Simd,
+            phase_end: false, // patched by lower_ws
+            lastpriv,
+        })
+    }
+
+    fn expr_code(&mut self, e: &'a Expr) -> LResult<ExprCode> {
+        let out = self.alloc_reg()?;
+        let range = self.range(|me| me.expr_into(e, out))?;
+        Ok(ExprCode { range, out })
+    }
+}
+
+/// Lower a parsed unit into a bytecode [`Program`], or reject it (the
+/// caller falls back to the AST interpreter).
+pub fn lower(unit: &TranslationUnit) -> Result<Program, LowerError> {
+    Lowerer::new().lower_unit(unit)
+}

@@ -133,6 +133,11 @@ pub struct AnalyzedKernel {
     /// Memoized calibrated yes/no answers (filled lazily by
     /// [`Surrogate::predict_memo`](crate::Surrogate::predict_memo)).
     pub predict_memo: PredictMemo,
+    /// Lazily-lowered bytecode program for the dynamic oracle, tagged
+    /// with the [`hbsan::FORMAT_VERSION`] it was lowered under. Inner
+    /// `None` means lowering was attempted and rejected (or there is no
+    /// AST); callers fall back to the AST interpreter.
+    oracle_program: OnceLock<Option<(u32, hbsan::Program)>>,
 }
 
 impl AnalyzedKernel {
@@ -162,6 +167,25 @@ impl AnalyzedKernel {
             full_vec,
             surface_difficulty,
             predict_memo: PredictMemo::default(),
+            oracle_program: OnceLock::new(),
+        }
+    }
+
+    /// The kernel's bytecode oracle program, lowered at most once per
+    /// artifact and shared by every subsequent schedule sweep. `None`
+    /// when the code does not parse, when `hbsan::lower` rejects the
+    /// kernel (sections/single/tasks — the interpreter fallback path),
+    /// or when the cached program was lowered under a different IR
+    /// format version (never happens in-process; guards any future
+    /// serialized reuse the same way `PredictMemo` fingerprints do).
+    pub fn oracle_program(&self) -> Option<&hbsan::Program> {
+        let slot = self.oracle_program.get_or_init(|| {
+            let unit = self.ast.as_ref()?;
+            Some((hbsan::FORMAT_VERSION, hbsan::lower(unit).ok()?))
+        });
+        match slot {
+            Some((v, p)) if *v == hbsan::FORMAT_VERSION => Some(p),
+            _ => None,
         }
     }
 }
@@ -202,6 +226,24 @@ mod tests {
     #[test]
     fn ngram_vector_matches_token_form() {
         assert_eq!(ngram_vector(RACY), ngram_vector_of(&tokenize(RACY)));
+    }
+
+    #[test]
+    fn oracle_program_is_cached_and_degrades() {
+        let a = AnalyzedKernel::analyze(RACY);
+        let first = a.oracle_program().expect("parallel-for lowers") as *const hbsan::Program;
+        let again = a.oracle_program().unwrap() as *const hbsan::Program;
+        assert_eq!(first, again, "second call must return the cached program");
+
+        // No AST → no program (and no panic).
+        assert!(AnalyzedKernel::analyze("not C at all {{{").oracle_program().is_none());
+
+        // Lowering rejection (sections) degrades to `None`; callers
+        // fall back to the AST interpreter.
+        let sections = "int x;\nint main() {\n  #pragma omp parallel sections\n  {\n    #pragma omp section\n    { x = 1; }\n    #pragma omp section\n    { x = 2; }\n  }\n  return x;\n}\n";
+        let s = AnalyzedKernel::analyze(sections);
+        assert!(s.ast.is_some());
+        assert!(s.oracle_program().is_none());
     }
 
     #[test]

@@ -103,10 +103,17 @@ impl Pipeline {
         let unit = minic::parse(&trimmed.code)?;
 
         let st = racecheck::check(&unit);
-        let dy = hbsan::check_adversarial(&unit, &hbsan::Config::default(), &[1, 7, 23])
-            .unwrap_or_default();
 
         let artifact = llm::AnalyzedKernel::from_parsed(&trimmed.code, Some(unit));
+        let ast = artifact.ast.as_ref().expect("parsed above");
+        let dy = hbsan::check_adversarial_compiled(
+            ast,
+            artifact.oracle_program(),
+            &hbsan::Config::default(),
+            &[1, 7, 23],
+        )
+        .map(|s| s.report)
+        .unwrap_or_default();
         let features = &artifact.features;
         let mut llm_answers = Vec::new();
         for (kind, _s) in &self.surrogates {

@@ -91,6 +91,16 @@ fn op_word(kind: depend::AccessKind) -> &'static str {
 /// count or timing (hbsan's sweep is seed-deterministic by PR 2's
 /// equivalence suite).
 pub fn analyze_code(source: &str) -> AnalyzeResponse {
+    analyze_code_traced(source).0
+}
+
+/// [`analyze_code`] plus a side channel: whether the dynamic sweep fell
+/// back from the bytecode executor to the AST interpreter (lowering
+/// rejected the kernel, or the executor hit a runtime error and the
+/// interpreter re-ran it). The flag never affects the response bytes —
+/// it only feeds the `racellm_oracle_fallbacks_total` counter, so cache
+/// hits and fresh computations stay byte-identical.
+pub fn analyze_code_traced(source: &str) -> (AnalyzeResponse, bool) {
     let trimmed = minic::trim_comments(source);
     let (ast, parse_error) = match minic::parse(&trimmed.code) {
         Ok(unit) => (Some(unit), None),
@@ -107,18 +117,30 @@ pub fn analyze_code(source: &str) -> AnalyzeResponse {
         .collect();
     let llm_verdict = feature_verdict(&artifact.features, ModelKind::Gpt4);
 
+    let mut fell_back = false;
     let (verdicts, static_races, dynamic_races, var_pairs) = match &artifact.ast {
         Some(unit) => {
             let st = racecheck::check(unit);
-            let (dynamic, dynamic_races) =
-                match hbsan::check_adversarial(unit, &hbsan::Config::default(), &DEFAULT_SEEDS) {
-                    Ok(rep) => {
-                        let races: Vec<String> =
-                            rep.races.iter().take(5).map(hbsan::DynRace::describe).collect();
-                        (Some(rep.has_race()), races)
-                    }
-                    Err(_) => (None, Vec::new()),
-                };
+            let (dynamic, dynamic_races) = match hbsan::check_adversarial_compiled(
+                unit,
+                artifact.oracle_program(),
+                &hbsan::Config::default(),
+                &DEFAULT_SEEDS,
+            ) {
+                Ok(sweep) => {
+                    fell_back = sweep.fell_back;
+                    let rep = sweep.report;
+                    let races: Vec<String> =
+                        rep.races.iter().take(5).map(hbsan::DynRace::describe).collect();
+                    (Some(rep.has_race()), races)
+                }
+                // A sweep error means even the interpreter fallback
+                // could not execute the kernel.
+                Err(_) => {
+                    fell_back = true;
+                    (None, Vec::new())
+                }
+            };
             let v = Verdicts { stat: st.has_race(), dynv: dynamic, llm: llm_verdict };
             let pairs = st.races.first().map(|r| WirePairs {
                 variable_names: vec![r.first.var.clone(), r.second.var.clone()],
@@ -147,7 +169,7 @@ pub fn analyze_code(source: &str) -> AnalyzeResponse {
         ),
     };
 
-    AnalyzeResponse {
+    let resp = AnalyzeResponse {
         tokens: artifact.tokens.len(),
         parse_ok: parse_error.is_none(),
         parse_error,
@@ -156,13 +178,21 @@ pub fn analyze_code(source: &str) -> AnalyzeResponse {
         dynamic_races,
         models,
         var_pairs,
-    }
+    };
+    (resp, fell_back)
 }
 
 /// The canonical serialized response for a kernel — exactly the bytes
 /// the server caches and ships (compact JSON, stable field order).
 pub fn response_body(source: &str) -> String {
-    serde_json::to_string(&analyze_code(source)).expect("response serialization is infallible")
+    response_body_traced(source).0
+}
+
+/// [`response_body`] plus the oracle-fallback flag (see
+/// [`analyze_code_traced`]).
+pub fn response_body_traced(source: &str) -> (String, bool) {
+    let (resp, fell_back) = analyze_code_traced(source);
+    (serde_json::to_string(&resp).expect("response serialization is infallible"), fell_back)
 }
 
 #[cfg(test)]

@@ -139,6 +139,10 @@ pub struct Metrics {
     pub deadline_expired_total: Counter,
     /// Jobs a worker skipped because they were already expired.
     pub worker_expired_total: Counter,
+    /// Analyses whose dynamic sweep fell back from the bytecode
+    /// executor to the AST interpreter (lowering rejected the kernel,
+    /// or the executor erred and the interpreter re-ran it).
+    pub oracle_fallbacks_total: Counter,
     /// Queue depth after the most recent push/pop.
     pub queue_depth: Gauge,
     /// Micro-batches executed.
@@ -167,6 +171,7 @@ impl Metrics {
             queue_rejected_total: Counter::default(),
             deadline_expired_total: Counter::default(),
             worker_expired_total: Counter::default(),
+            oracle_fallbacks_total: Counter::default(),
             queue_depth: Gauge::default(),
             batches_total: Counter::default(),
             batch_size: Histogram::new(&BATCH_BOUNDS),
@@ -220,6 +225,7 @@ impl Metrics {
             ("racellm_queue_rejected_total", &self.queue_rejected_total),
             ("racellm_deadline_expired_total", &self.deadline_expired_total),
             ("racellm_worker_expired_total", &self.worker_expired_total),
+            ("racellm_oracle_fallbacks_total", &self.oracle_fallbacks_total),
             ("racellm_batches_total", &self.batches_total),
         ] {
             let _ = writeln!(w, "# TYPE {name} counter\n{name} {}", c.get());

@@ -372,9 +372,12 @@ fn worker_loop(shared: &Arc<Shared>) -> usize {
 
         let codes: Vec<&str> = live.iter().map(|j| j.code.as_str()).collect();
         let fan = cfg.batch_parallelism.clamp(1, codes.len());
-        let bodies = par::par_map(&codes, fan, |c| analyze::response_body(c));
+        let bodies = par::par_map(&codes, fan, |c| analyze::response_body_traced(c));
 
-        for (job, body) in live.iter().zip(bodies) {
+        for (job, (body, fell_back)) in live.iter().zip(bodies) {
+            if fell_back {
+                shared.metrics.oracle_fallbacks_total.inc();
+            }
             let body: Arc<str> = Arc::from(body);
             shared.cache.insert(&job.code, Arc::clone(&body));
             processed += 1;

@@ -1,0 +1,73 @@
+//! Regression coverage for the interpreter-fallback path: kernels the
+//! bytecode lowerer rejects (`sections` here) must still get a dynamic
+//! verdict — via the AST interpreter — and the service must account for
+//! the slow path in `racellm_oracle_fallbacks_total` so an operator can
+//! see how much traffic misses the fast path.
+
+use serve::http::client::Client;
+use serve::{server, ServeConfig};
+use std::time::Duration;
+
+/// Racy `parallel sections` kernel: parses and runs under the AST
+/// interpreter, but the lowerer intentionally rejects `sections`.
+const SECTIONS_RACY: &str = "int x;\nint y;\n\nint main() {\n  x = 0;\n  y = 0;\n  #pragma omp parallel sections\n  {\n    #pragma omp section\n    {\n      x = x + 1;\n    }\n    #pragma omp section\n    {\n      x = x + 2;\n    }\n  }\n  return 0;\n}\n";
+
+/// Plain parallel-for (clean): lowers and runs on the bytecode path.
+const LOWERABLE_CLEAN: &str = "int a[64];\nint main() {\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 64; i++) {\n    a[i] = i * 2;\n  }\n  return 0;\n}\n";
+
+#[test]
+fn rejected_kernel_still_gets_a_dynamic_verdict() {
+    let unit = minic::parse(SECTIONS_RACY).unwrap();
+    assert!(hbsan::lower(&unit).is_err(), "sections must be rejected, not unwrapped");
+
+    // The traced analysis reports the fallback and still produces a
+    // dynamic verdict (the interpreter ran the kernel).
+    let (resp, fell_back) = serve::analyze::analyze_code_traced(SECTIONS_RACY);
+    assert!(fell_back, "rejected lowering must be reported as a fallback");
+    assert_eq!(resp.verdicts.dynamic, Some(true), "interpreter fallback must yield a verdict");
+
+    // And the fallback flag is a pure side channel: the response is
+    // byte-identical to the untraced path.
+    assert_eq!(resp, serve::analyze::analyze_code(SECTIONS_RACY));
+
+    let (_, fast) = serve::analyze::analyze_code_traced(LOWERABLE_CLEAN);
+    assert!(!fast, "a lowerable kernel must take the bytecode path");
+}
+
+#[test]
+fn fallback_counter_reaches_the_metrics_endpoint() {
+    let handle = server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        batch_linger_micros: 0,
+        poll_ms: 20,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(30)).unwrap();
+
+    let post = |client: &mut Client, code: &str| {
+        let body = serde_json::to_string(&serde_json::json!({ "code": code })).unwrap();
+        let (status, _) = client.request("POST", "/v1/analyze", &[], body.as_bytes()).unwrap();
+        assert_eq!(status, 200);
+    };
+    let fallbacks = |client: &mut Client| {
+        let (status, body) = client.request("GET", "/metrics", &[], b"").unwrap();
+        assert_eq!(status, 200);
+        serve::metrics::scrape_value(
+            std::str::from_utf8(&body).unwrap(),
+            "racellm_oracle_fallbacks_total",
+        )
+        .expect("fallback counter is rendered")
+    };
+
+    assert_eq!(fallbacks(&mut client), 0.0);
+    post(&mut client, LOWERABLE_CLEAN);
+    assert_eq!(fallbacks(&mut client), 0.0, "bytecode path must not count as fallback");
+    post(&mut client, SECTIONS_RACY);
+    assert_eq!(fallbacks(&mut client), 1.0, "rejected kernel must increment the counter");
+    // A cache hit re-serves the body without re-running the oracle.
+    post(&mut client, SECTIONS_RACY);
+    assert_eq!(fallbacks(&mut client), 1.0);
+
+    handle.shutdown();
+}

@@ -50,7 +50,14 @@ impl Verdicts {
 /// token counting — it must be the unit's source).
 pub fn verdicts_of_unit(unit: &TranslationUnit, code: &str) -> Verdicts {
     let stat = racecheck::verdict(unit);
-    let dynv = hbsan::verdict(unit, &hbsan::Config::default(), &DEFAULT_SEEDS).ok();
+    // Lower once, sweep all seeds through the bytecode executor; kernels
+    // the lowerer rejects fall back to the AST interpreter inside
+    // `verdict_compiled` with identical verdicts (proven corpus-wide by
+    // drb-gen's bytecode_differential test).
+    let prog = hbsan::lower(unit).ok();
+    let dynv =
+        hbsan::verdict_compiled(unit, prog.as_ref(), &hbsan::Config::default(), &DEFAULT_SEEDS)
+            .ok();
     let features = CodeFeatures::from_parts(llm::count_tokens(code), Some(unit));
     let llm = llm::feature_verdict(&features, ModelKind::Gpt4);
     Verdicts { stat, dynv, llm }
