@@ -4,10 +4,11 @@
 //!   cargo run --release -p bench --bin tables              # all tables
 //!   cargo run --release -p bench --bin tables -- table3    # one table
 //!   cargo run --release -p bench --bin tables -- --json    # machine-readable
-//!   cargo run --release -p bench --bin tables -- --bench-json [oracle|finetune|all] [path]
-//!       time the dynamic-oracle / fine-tuning stages and write
-//!       BENCH_oracle.json / BENCH_finetune.json (a bare path after
-//!       --bench-json keeps the historical oracle-only behaviour)
+//!   cargo run --release -p bench --bin tables -- --bench-json [oracle|finetune|repair|all] [path]
+//!       time the dynamic-oracle / fine-tuning / repair stages and write
+//!       BENCH_oracle.json / BENCH_finetune.json / BENCH_repair.json (a
+//!       bare path after --bench-json keeps the historical oracle-only
+//!       behaviour)
 
 use eval::{format_cv_table, format_detection_table};
 use llm::calibration::paper;
@@ -309,6 +310,63 @@ fn write_bench_finetune_json(path: &str) {
     println!("wrote {path}");
 }
 
+/// Time the corpus-wide repair sweep (detect → candidate → certify →
+/// minimize on all 201 kernels) serial vs parallel and write the
+/// measurements plus the headline repair-rate numbers as JSON. The two
+/// configurations must agree row-for-row.
+fn write_bench_repair_json(path: &str) {
+    use racellm::repair;
+
+    let cfg = repair::RepairConfig::default();
+    let workers = eval::default_workers();
+
+    let time = |f: &dyn Fn() -> repair::SweepSummary| {
+        // One warmup pass, then best-of-3 to damp scheduler noise.
+        let summary = f();
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            assert_eq!(f(), summary, "sweep rows must not vary across passes");
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (summary, best)
+    };
+
+    let (rows_serial, serial) = time(&|| repair::sweep_corpus_with_workers(&cfg, 1));
+    let (rows_parallel, parallel) = time(&|| repair::sweep_corpus_with_workers(&cfg, workers));
+    assert_eq!(rows_serial, rows_parallel, "worker count changed a sweep row");
+
+    let fixed_rows: Vec<_> =
+        rows_serial.rows.iter().filter(|r| r.outcome == "fixed").collect();
+    let mean_patch_lines = if fixed_rows.is_empty() {
+        0.0
+    } else {
+        fixed_rows.iter().map(|r| r.patch_lines).sum::<usize>() as f64 / fixed_rows.len() as f64
+    };
+
+    let out = serde_json::json!({
+        "bench": "repair_corpus_sweep",
+        "kernels": rows_serial.rows.len(),
+        "racy": rows_serial.racy(),
+        "fixed_racy": rows_serial.fixed_racy(),
+        "repair_rate_percent": rows_serial.repair_rate(),
+        "mean_patch_lines": mean_patch_lines,
+        "certification_seeds": cfg.seeds.clone(),
+        "workers": workers,
+        "seconds": serde_json::json!({
+            "serial": serial,
+            "parallel": parallel,
+        }),
+        "speedup": serde_json::json!({
+            "parallel_vs_serial": (serial / parallel),
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&out).expect("serializable");
+    std::fs::write(path, &pretty).expect("write bench json");
+    println!("{pretty}");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
@@ -321,9 +379,14 @@ fn main() {
                 let path = args.get(pos + 2).map(String::as_str).unwrap_or("BENCH_oracle.json");
                 write_bench_json(path);
             }
+            Some("repair") => {
+                let path = args.get(pos + 2).map(String::as_str).unwrap_or("BENCH_repair.json");
+                write_bench_repair_json(path);
+            }
             Some("all") | None => {
                 write_bench_json("BENCH_oracle.json");
                 write_bench_finetune_json("BENCH_finetune.json");
+                write_bench_repair_json("BENCH_repair.json");
             }
             // Historical form: a bare output path means the oracle bench.
             Some(path) => write_bench_json(path),

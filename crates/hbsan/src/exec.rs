@@ -871,6 +871,42 @@ impl<'p> Exec<'p> {
 /// Execute a lowered program, producing the same [`RunOutput`] the AST
 /// interpreter yields for the source unit.
 pub fn run_program(prog: &Program, cfg: &Config) -> RtResult<RunOutput> {
+    let (ex, exit) = exec_program(prog, cfg)?;
+    Ok(finish(ex, exit, cfg))
+}
+
+/// [`run_program`], plus a post-run snapshot of every global slot's
+/// final heap contents, in slot order. The lowerer numbers global slots
+/// per declarator in declaration order, so slot `i` is the `i`-th
+/// file-scope variable — the same order
+/// [`obs::global_names`](crate::obs::global_names) reports.
+pub(crate) fn run_program_with_globals(
+    prog: &Program,
+    cfg: &Config,
+) -> RtResult<(RunOutput, Vec<Vec<Value>>)> {
+    let (ex, exit) = exec_program(prog, cfg)?;
+    let globals = ex
+        .global_slots
+        .iter()
+        .map(|s| ex.heap[s.addr..s.addr + s.count].to_vec())
+        .collect();
+    Ok((finish(ex, exit, cfg), globals))
+}
+
+fn finish(ex: Exec<'_>, exit: Option<i64>, cfg: &Config) -> RunOutput {
+    let mut trace = ex.trace;
+    trace.threads = ex.max_team.max(cfg.threads);
+    RunOutput {
+        trace,
+        printed: ex.printed,
+        exit,
+        schedule_sensitive: ex.sched.seed_sensitive(),
+    }
+}
+
+/// Drive a lowered program to completion, returning the executor (for
+/// post-run state inspection) and `main`'s return value.
+fn exec_program<'p>(prog: &'p Program, cfg: &Config) -> RtResult<(Exec<'p>, Option<i64>)> {
     let mut ex = Exec {
         prog,
         threads: cfg.threads,
@@ -913,14 +949,7 @@ pub fn run_program(prog: &Program, cfg: &Config) -> RtResult<RunOutput> {
         Flow::Return(v) => Some(v.as_int()),
         _ => None,
     };
-    let mut trace = ex.trace;
-    trace.threads = ex.max_team.max(cfg.threads);
-    Ok(RunOutput {
-        trace,
-        printed: ex.printed,
-        exit,
-        schedule_sensitive: ex.sched.seed_sensitive(),
-    })
+    Ok((ex, exit))
 }
 
 /// Run one seed through the fast path with interpreter fallback.

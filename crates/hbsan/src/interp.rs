@@ -106,14 +106,29 @@ pub struct RunOutput {
 pub fn run(unit: &TranslationUnit, cfg: &Config) -> RtResult<RunOutput> {
     let mut interp = Interp::new(unit, cfg)?;
     let exit = interp.run_main()?;
-    let mut trace = interp.trace;
-    trace.threads = interp.max_team.max(cfg.threads);
-    Ok(RunOutput {
-        trace,
-        printed: interp.printed,
-        exit,
-        schedule_sensitive: interp.sched.seed_sensitive(),
-    })
+    Ok(interp.finish(exit, cfg))
+}
+
+/// [`run`], plus a post-run snapshot of every file-scope variable's
+/// final heap contents, in declaration order (the same order
+/// [`exec`](crate::exec) numbers global slots in). Variables a kernel
+/// declares but [`Interp::new`] never binds (none today) snapshot as
+/// empty. The repair certifier compares these snapshots across
+/// original/patched runs; see [`obs`](crate::obs).
+pub(crate) fn run_with_globals(
+    unit: &TranslationUnit,
+    cfg: &Config,
+) -> RtResult<(RunOutput, Vec<Vec<Value>>)> {
+    let mut interp = Interp::new(unit, cfg)?;
+    let exit = interp.run_main()?;
+    let globals = crate::obs::global_names(unit)
+        .iter()
+        .map(|name| match interp.frames[0][0].get(name.as_str()) {
+            Some(b) => interp.heap[b.addr..b.addr + b.count].to_vec(),
+            None => Vec::new(),
+        })
+        .collect();
+    Ok((interp.finish(exit, cfg), globals))
 }
 
 struct Interp<'a> {
@@ -205,6 +220,18 @@ impl<'a> Interp<'a> {
     // -------------------------------------------------------------
     // Infrastructure
     // -------------------------------------------------------------
+
+    /// Package a completed run into the public [`RunOutput`].
+    fn finish(self, exit: Option<i64>, cfg: &Config) -> RunOutput {
+        let mut trace = self.trace;
+        trace.threads = self.max_team.max(cfg.threads);
+        RunOutput {
+            trace,
+            printed: self.printed,
+            exit,
+            schedule_sensitive: self.sched.seed_sensitive(),
+        }
+    }
 
     fn spend(&mut self) -> RtResult<()> {
         if self.fuel == 0 {

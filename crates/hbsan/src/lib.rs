@@ -39,6 +39,7 @@ pub mod exec;
 pub mod interp;
 pub mod ir;
 pub mod lower;
+pub mod obs;
 pub mod sched;
 pub mod trace;
 pub mod value;
@@ -49,6 +50,7 @@ pub use exec::{run_oracle, run_program};
 pub use interp::{run, Config, RtError, RunOutput};
 pub use ir::{OracleRun, Program, FORMAT_VERSION};
 pub use lower::{lower, LowerError};
+pub use obs::{observe, observe_oracle, ObservedRun, Observation};
 pub use trace::{Event, EventKind, Op, Site, SiteId, SyncId, SyncKey, Trace};
 pub use vc::{Epoch, VectorClock};
 

@@ -1,0 +1,196 @@
+//! Minimal unified diff over lines.
+//!
+//! The repair pipeline reports every fix as a patch — the canonical
+//! `---`/`+++`/`@@` format tools and reviewers already read — computed
+//! between the original kernel text and the re-printed patched AST. The
+//! implementation is the textbook O(n·m) LCS dynamic program; kernels
+//! are a few dozen lines, so quadratic is comfortably below a
+//! microsecond and not worth a Myers implementation.
+
+use std::fmt::Write as _;
+
+/// One diff line, tagged with its direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Present in both texts.
+    Keep,
+    /// Only in the original (`-`).
+    Del,
+    /// Only in the patched text (`+`).
+    Add,
+}
+
+/// Longest-common-subsequence edit script over two line slices.
+fn edit_script(a: &[&str], b: &[&str]) -> Vec<(Op, usize)> {
+    // lcs[i][j] = LCS length of a[i..], b[j..].
+    let mut lcs = vec![vec![0u32; b.len() + 1]; a.len() + 1];
+    for i in (0..a.len()).rev() {
+        for j in (0..b.len()).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let (mut i, mut j) = (0, 0);
+    let mut script = Vec::new();
+    while i < a.len() && j < b.len() {
+        if a[i] == b[j] {
+            script.push((Op::Keep, i));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            script.push((Op::Del, i));
+            i += 1;
+        } else {
+            script.push((Op::Add, j));
+            j += 1;
+        }
+    }
+    script.extend((i..a.len()).map(|i| (Op::Del, i)));
+    script.extend((j..b.len()).map(|j| (Op::Add, j)));
+    script
+}
+
+/// Render a unified diff between two texts (line-based, `context` lines
+/// of surrounding context per hunk). Returns the empty string when the
+/// texts are line-identical; otherwise the result starts with
+/// `--- original` / `+++ patched` headers followed by `@@` hunks.
+pub fn unified_diff(original: &str, patched: &str, context: usize) -> String {
+    let a: Vec<&str> = original.lines().collect();
+    let b: Vec<&str> = patched.lines().collect();
+    let script = edit_script(&a, &b);
+    if script.iter().all(|(op, _)| *op == Op::Keep) {
+        return String::new();
+    }
+
+    // Group script entries into hunks: maximal runs where changed lines
+    // are at most `2*context` keep-lines apart.
+    let changed: Vec<usize> = script
+        .iter()
+        .enumerate()
+        .filter_map(|(k, (op, _))| (*op != Op::Keep).then_some(k))
+        .collect();
+    let mut hunks: Vec<(usize, usize)> = Vec::new(); // script index ranges
+    for &k in &changed {
+        let lo = k.saturating_sub(context);
+        let hi = (k + context + 1).min(script.len());
+        match hunks.last_mut() {
+            Some((_, end)) if lo <= *end => *end = (*end).max(hi),
+            _ => hunks.push((lo, hi)),
+        }
+    }
+
+    // Line numbers: walk the script once, recording (a_line, b_line)
+    // *before* each entry (1-based in the output, 0-based here).
+    let mut pos = Vec::with_capacity(script.len() + 1);
+    let (mut ai, mut bi) = (0usize, 0usize);
+    for (op, _) in &script {
+        pos.push((ai, bi));
+        match op {
+            Op::Keep => {
+                ai += 1;
+                bi += 1;
+            }
+            Op::Del => ai += 1,
+            Op::Add => bi += 1,
+        }
+    }
+    pos.push((ai, bi));
+
+    let mut out = String::from("--- original\n+++ patched\n");
+    for (lo, hi) in hunks {
+        let (a_start, b_start) = pos[lo];
+        let (a_end, b_end) = pos[hi];
+        let (a_len, b_len) = (a_end - a_start, b_end - b_start);
+        // Unified format counts from 1; a zero-length side reports the
+        // line *before* the hunk.
+        let a_disp = if a_len == 0 { a_start } else { a_start + 1 };
+        let b_disp = if b_len == 0 { b_start } else { b_start + 1 };
+        let _ = writeln!(out, "@@ -{a_disp},{a_len} +{b_disp},{b_len} @@");
+        for &(op, idx) in &script[lo..hi] {
+            let (sigil, line) = match op {
+                Op::Keep => (' ', a[idx]),
+                Op::Del => ('-', a[idx]),
+                Op::Add => ('+', b[idx]),
+            };
+            let _ = writeln!(out, "{sigil}{line}");
+        }
+    }
+    out
+}
+
+/// Count of added plus removed lines — the patch-size measure the
+/// repair tables report.
+pub fn diff_size(diff: &str) -> usize {
+    diff.lines()
+        .skip(2) // ---/+++ headers
+        .filter(|l| {
+            (l.starts_with('+') || l.starts_with('-'))
+                && !l.starts_with("+++")
+                && !l.starts_with("---")
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_diff_empty() {
+        assert_eq!(unified_diff("a\nb\nc\n", "a\nb\nc\n", 2), "");
+        assert_eq!(diff_size(""), 0);
+    }
+
+    #[test]
+    fn insertion_renders_one_hunk() {
+        let d = unified_diff("a\nb\nc\nd\ne\n", "a\nb\nX\nc\nd\ne\n", 1);
+        assert_eq!(
+            d,
+            "--- original\n+++ patched\n@@ -2,2 +2,3 @@\n b\n+X\n c\n"
+        );
+        assert_eq!(diff_size(&d), 1);
+    }
+
+    #[test]
+    fn replacement_renders_del_then_add() {
+        let d = unified_diff("x\ny\nz\n", "x\nY\nz\n", 1);
+        assert!(d.contains("-y\n+Y\n"), "got:\n{d}");
+        assert_eq!(diff_size(&d), 2);
+    }
+
+    #[test]
+    fn distant_changes_render_separate_hunks() {
+        let a = "1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n";
+        let b = "1*\n2\n3\n4\n5\n6\n7\n8\n9\n10*\n";
+        let d = unified_diff(a, b, 1);
+        assert_eq!(d.matches("@@").count() / 2 * 2, d.matches("@@").count());
+        assert_eq!(d.matches("@@ -").count(), 2, "got:\n{d}");
+    }
+
+    #[test]
+    fn pragma_insertion_reads_like_a_patch() {
+        let orig = "int main() {\n  for (int i = 0; i < 8; i++)\n    sum += i;\n  return sum;\n}\n";
+        let fixed = "int main() {\n  #pragma omp atomic\n  for (int i = 0; i < 8; i++)\n    sum += i;\n  return sum;\n}\n";
+        let d = unified_diff(orig, fixed, 2);
+        assert!(d.starts_with("--- original\n+++ patched\n@@ "), "got:\n{d}");
+        assert!(d.contains("+  #pragma omp atomic\n"), "got:\n{d}");
+        assert_eq!(diff_size(&d), 1);
+    }
+
+    #[test]
+    fn zero_length_side_reports_preceding_line() {
+        // Deleting the only line of a one-line file: +0,0 on the b side.
+        let d = unified_diff("only\n", "", 2);
+        assert!(d.contains("@@ -1,1 +0,0 @@"), "got:\n{d}");
+        assert!(d.contains("-only\n"));
+    }
+
+    #[test]
+    fn trailing_newline_is_not_required() {
+        let d = unified_diff("a", "b", 1);
+        assert!(d.contains("-a\n+b\n"), "got:\n{d}");
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod ast;
 pub mod cfg;
+pub mod diff;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -41,6 +42,7 @@ pub mod trim;
 pub mod visit;
 
 pub use ast::TranslationUnit;
+pub use diff::{diff_size, unified_diff};
 pub use error::{ParseError, Result};
 pub use parser::parse;
 #[cfg(feature = "count-parses")]

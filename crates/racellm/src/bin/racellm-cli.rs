@@ -7,15 +7,18 @@
 //! racellm-cli corpus                      list the 201 corpus kernels
 //! racellm-cli xcheck --smoke [seed]       deterministic differential smoke gate
 //! racellm-cli xcheck report [seed]        full sweep with shrunk disagreement triage
+//! racellm-cli fix <file.c>                repair a racy kernel, print certified patch
+//! racellm-cli fix --corpus                corpus-wide repair-rate table
+//! racellm-cli fix --smoke                 deterministic repair smoke gate
 //! racellm-cli serve [--smoke] [opts]      batched, cached HTTP detection service
 //! racellm-cli loadgen [opts]              closed-loop load generator → BENCH_serve.json
 //! ```
 
-use racellm::{drb_gen, drb_ml, llm, serve, xcheck, Pipeline};
+use racellm::{drb_gen, drb_ml, llm, repair, serve, xcheck, Pipeline};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  racellm-cli analyze <file.c>\n  racellm-cli modality <file.c> <source|ast|depgraph|cfg>\n  racellm-cli dataset <out_dir>\n  racellm-cli corpus\n  racellm-cli xcheck --smoke [seed]\n  racellm-cli xcheck report [seed]\n  racellm-cli serve [--smoke] [--addr HOST:PORT] [--workers N] [--batch-max N]\n                    [--queue-cap N] [--cache-cap N] [--deadline-ms N]\n  racellm-cli loadgen [--addr HOST:PORT] [--clients N] [--duration-secs N]\n                      [--warmup-secs N] [--out PATH]  (no --addr: self-serve)"
+        "usage:\n  racellm-cli analyze <file.c>\n  racellm-cli modality <file.c> <source|ast|depgraph|cfg>\n  racellm-cli dataset <out_dir>\n  racellm-cli corpus\n  racellm-cli xcheck --smoke [seed]\n  racellm-cli xcheck report [seed]\n  racellm-cli fix <file.c> | --corpus | --smoke\n  racellm-cli serve [--smoke] [--addr HOST:PORT] [--workers N] [--batch-max N]\n                    [--queue-cap N] [--cache-cap N] [--deadline-ms N]\n  racellm-cli loadgen [--addr HOST:PORT] [--clients N] [--duration-secs N]\n                      [--warmup-secs N] [--out PATH]  (no --addr: self-serve)"
     );
     std::process::exit(2);
 }
@@ -97,6 +100,67 @@ fn cmd_serve(args: &[String]) -> ! {
             eprintln!("serve failed to start: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn cmd_fix(args: &[String]) -> ! {
+    let cfg = repair::RepairConfig::default();
+    match args.first().map(String::as_str) {
+        Some("--smoke") => match repair::smoke() {
+            Ok(summary) => {
+                print!("{summary}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("repair smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        },
+        Some("--corpus") => {
+            let summary = repair::sweep_corpus(&cfg);
+            print!("{}", repair::render_table(&summary));
+            std::process::exit(0);
+        }
+        Some(path) => {
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let trimmed = racellm::minic::trim_comments(&src);
+            let r = repair::fix(&trimmed.code, &cfg);
+            if let Some(v) = &r.verdicts {
+                println!("detect  : {}", v.summary());
+            }
+            println!("outcome : {} ({} candidate(s) certified)", r.outcome.tag(), r.candidates_tried);
+            match r.fix() {
+                Some(f) => {
+                    let edits: Vec<String> = f.edits.iter().map(repair::edit_label).collect();
+                    println!("edits   : {}", edits.join("+"));
+                    println!(
+                        "cert    : racecheck clean, hbsan clean on seeds {:?}, output-equivalent on seeds {:?}{}",
+                        f.certificate.hbsan_seeds,
+                        f.certificate.equivalent_seeds,
+                        if f.certificate.scratch.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (scratch: {})", f.certificate.scratch.join(", "))
+                        }
+                    );
+                    println!(
+                        "surrogate: {}",
+                        if f.certificate.surrogate_clean { "clean" } else { "still suspicious" }
+                    );
+                    print!("{}", f.patch);
+                    std::process::exit(0);
+                }
+                None => std::process::exit(match r.outcome {
+                    repair::Outcome::CleanAlready => 0,
+                    repair::Outcome::Unparseable => 2,
+                    _ => 1,
+                }),
+            }
+        }
+        None => usage(),
     }
 }
 
@@ -269,6 +333,7 @@ fn main() {
                 _ => usage(),
             }
         }
+        Some("fix") => cmd_fix(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("corpus") => {

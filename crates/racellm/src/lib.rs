@@ -34,6 +34,7 @@ pub use hbsan;
 pub use llm;
 pub use minic;
 pub use racecheck;
+pub use repair;
 pub use serve;
 pub use xcheck;
 

@@ -1,0 +1,191 @@
+//! Candidate patch enumeration.
+//!
+//! The detectors do not just say "racy" — they name the variables
+//! ([`racecheck`]'s static access pairs, [`hbsan`]'s dynamic sites).
+//! Candidates are built from that evidence: for each reported variable,
+//! a ladder of increasingly blunt protections, from the semantically
+//! richest (`reduction`) down to the bluntest clause (`critical`
+//! section), plus structural edits (`nowait` removal, body
+//! serialization) for races no per-variable clause can fix. The order
+//! is the preference order: the first candidate to certify wins, so
+//! cheaper/more-parallel repairs are emitted first and full
+//! serialization is the last resort.
+
+use minic::visit::collect_directives;
+use minic::TranslationUnit;
+use xcheck::RepairEdit;
+
+/// One variable implicated by a detector report.
+struct RacyVar {
+    name: String,
+    /// Every reported access to it was a plain scalar access.
+    scalar: bool,
+    /// How many report entries named it (ranking key).
+    hits: usize,
+}
+
+fn note(vars: &mut Vec<RacyVar>, name: &str, scalar: bool) {
+    match vars.iter_mut().find(|v| v.name == name) {
+        Some(v) => {
+            v.hits += 1;
+            v.scalar &= scalar;
+        }
+        None => vars.push(RacyVar { name: name.to_string(), scalar, hits: 1 }),
+    }
+}
+
+/// The per-variable repair ladder, in preference order.
+fn ladder(v: &RacyVar) -> Vec<RepairEdit> {
+    let var = v.name.clone();
+    if v.scalar {
+        vec![
+            RepairEdit::AddReduction { var: var.clone() },
+            RepairEdit::WrapAtomic { var: var.clone() },
+            RepairEdit::AddPrivate { var: var.clone() },
+            RepairEdit::WrapCritical { var },
+        ]
+    } else {
+        // Array accesses have no reduction/private analogue here; the
+        // only clause-level protection is mutual exclusion.
+        vec![RepairEdit::WrapCritical { var }]
+    }
+}
+
+fn push(out: &mut Vec<Vec<RepairEdit>>, cand: Vec<RepairEdit>) {
+    if !out.contains(&cand) {
+        out.push(cand);
+    }
+}
+
+/// Enumerate candidate edit lists for a flagged kernel, best-first,
+/// capped at `max` (the serialization fallback always survives the
+/// cap — it is the candidate most likely to certify).
+pub(crate) fn enumerate(
+    unit: &TranslationUnit,
+    st: &racecheck::RaceReport,
+    dy: Option<&hbsan::DynReport>,
+    max: usize,
+) -> Vec<Vec<RepairEdit>> {
+    let mut vars: Vec<RacyVar> = Vec::new();
+    for race in &st.races {
+        for a in [&race.first, &race.second] {
+            note(&mut vars, &a.var, !a.is_array() && a.deref == 0);
+        }
+    }
+    if let Some(dy) = dy {
+        for race in &dy.races {
+            for s in [&race.prior, &race.current] {
+                note(&mut vars, &s.var, s.text == s.var);
+            }
+        }
+    }
+    // Most-implicated variables first; name breaks ties so enumeration
+    // order (and therefore the emitted patch) is deterministic.
+    vars.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.name.cmp(&b.name)));
+
+    let mut out: Vec<Vec<RepairEdit>> = Vec::new();
+
+    // Structural first: a stray `nowait` is the smallest possible patch
+    // when the race really is a missing barrier.
+    if collect_directives(unit).iter().any(|d| d.has_nowait()) {
+        push(&mut out, vec![RepairEdit::DropNowait]);
+    }
+
+    // Single-variable ladders.
+    for v in &vars {
+        for e in ladder(v) {
+            push(&mut out, vec![e]);
+        }
+    }
+
+    // Multi-variable combos: one ladder rung applied to *every*
+    // implicated variable at once (a half-patch cannot pass the static
+    // gate when two variables race independently).
+    if vars.len() > 1 {
+        let depth = vars.iter().map(|v| ladder(v).len()).max().unwrap_or(0);
+        for rung in 0..depth {
+            let combo: Vec<RepairEdit> = vars
+                .iter()
+                .map(|v| {
+                    let l = ladder(v);
+                    l[rung.min(l.len() - 1)].clone()
+                })
+                .collect();
+            push(&mut out, combo);
+        }
+    }
+
+    // Last resort: give up the parallelism, keep the semantics.
+    let serialize = vec![RepairEdit::SerializeBody];
+    if out.len() >= max {
+        out.truncate(max.saturating_sub(1));
+    }
+    push(&mut out, serialize);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn racy(code: &str) -> (TranslationUnit, racecheck::RaceReport) {
+        let unit = minic::parse(code).unwrap();
+        let st = racecheck::check(&unit);
+        (unit, st)
+    }
+
+    #[test]
+    fn scalar_race_gets_the_full_ladder() {
+        let (unit, st) = racy(
+            "int sum;\nint main() {\n  #pragma omp parallel for\n  for (int i = 0; i < 8; i++) sum += i;\n  return sum;\n}\n",
+        );
+        assert!(st.has_race());
+        let cands = enumerate(&unit, &st, None, 16);
+        assert_eq!(cands[0], vec![RepairEdit::AddReduction { var: "sum".into() }]);
+        assert!(cands.contains(&vec![RepairEdit::WrapAtomic { var: "sum".into() }]));
+        assert!(cands.contains(&vec![RepairEdit::AddPrivate { var: "sum".into() }]));
+        assert_eq!(cands.last(), Some(&vec![RepairEdit::SerializeBody]));
+    }
+
+    #[test]
+    fn array_race_skips_scalar_clauses() {
+        let (unit, st) = racy(
+            "int a[8];\nint main() {\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 7; i++) a[i] = a[i + 1];\n  return 0;\n}\n",
+        );
+        assert!(st.has_race());
+        let cands = enumerate(&unit, &st, None, 16);
+        for c in &cands {
+            assert!(!c.iter().any(|e| matches!(e, RepairEdit::AddReduction { .. })), "{c:?}");
+        }
+        assert!(cands.contains(&vec![RepairEdit::WrapCritical { var: "a".into() }]));
+    }
+
+    #[test]
+    fn nowait_kernel_tries_the_drop_first() {
+        let (unit, st) = racy(
+            "int a[8]; int b[8];\nint main() {\n  #pragma omp parallel\n  {\n    #pragma omp for nowait\n    for (int i = 0; i < 8; i++) a[i] = i;\n    #pragma omp for\n    for (int i = 0; i < 8; i++) b[i] = a[i];\n  }\n  return 0;\n}\n",
+        );
+        let cands = enumerate(&unit, &st, None, 16);
+        assert_eq!(cands.first(), Some(&vec![RepairEdit::DropNowait]));
+    }
+
+    #[test]
+    fn serialize_survives_the_cap() {
+        let (unit, st) = racy(
+            "int x; int y; int z;\nint main() {\n  #pragma omp parallel for\n  for (int i = 0; i < 8; i++) { x += i; y += i; z += i; }\n  return x + y + z;\n}\n",
+        );
+        let cands = enumerate(&unit, &st, None, 4);
+        assert!(cands.len() <= 4);
+        assert_eq!(cands.last(), Some(&vec![RepairEdit::SerializeBody]));
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let (unit, st) = racy(
+            "int x; int y;\nint main() {\n  #pragma omp parallel for\n  for (int i = 0; i < 8; i++) { x += i; y += i; }\n  return x + y;\n}\n",
+        );
+        let a = enumerate(&unit, &st, None, 16);
+        let b = enumerate(&unit, &st, None, 16);
+        assert_eq!(a, b);
+    }
+}

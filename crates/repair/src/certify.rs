@@ -1,0 +1,215 @@
+//! Candidate certification: the three machine-checkable gates.
+//!
+//! A candidate patch is *certified* when
+//! 1. `racecheck` reports zero races on the patched kernel,
+//! 2. the adversarial happens-before sweep is clean under every
+//!    certification seed, and
+//! 3. the patched kernel's observable output ([`hbsan::obs`]) is
+//!    byte-identical to the original's under each seed — modulo the
+//!    globals the patch itself privatizes.
+//!
+//! The original's per-seed output is computed once per repair run
+//! ([`baseline`]) and shared by every candidate; both sides exploit the
+//! scheduler's seed-sensitivity short-circuit (a schedule that never
+//! consults its RNG produces the same run under every seed, so one
+//! observation serves all of them — the same optimization the sweep
+//! APIs use).
+
+use crate::{Certificate, RepairConfig};
+use hbsan::obs::{self, Observation};
+use hbsan::{Config, Program};
+use minic::printer::print_unit;
+use minic::TranslationUnit;
+use xcheck::{apply_repair, RepairEdit};
+
+/// Per-seed observations of the original kernel.
+pub(crate) struct Baseline {
+    /// One observation per certification seed, in seed order.
+    obs: Vec<Observation>,
+}
+
+fn seed_cfg(seed: u64) -> Config {
+    Config { seed, ..Config::default() }
+}
+
+/// Observe a kernel under every seed, with the seed-insensitivity
+/// short-circuit. `None` when any run fails — no output baseline means
+/// no equivalence evidence.
+fn observe_all(
+    unit: &TranslationUnit,
+    prog: Option<&Program>,
+    seeds: &[u64],
+    fell_back: &mut bool,
+) -> Option<Vec<Observation>> {
+    let (&first, rest) = seeds.split_first()?;
+    let run = obs::observe_oracle(unit, prog, &seed_cfg(first));
+    *fell_back |= run.fell_back;
+    let head = run.output.ok()?;
+    let mut out = Vec::with_capacity(seeds.len());
+    let replicate = !head.schedule_sensitive;
+    out.push(head);
+    for &seed in rest {
+        if replicate {
+            out.push(out[0].clone());
+        } else {
+            let run = obs::observe_oracle(unit, prog, &seed_cfg(seed));
+            *fell_back |= run.fell_back;
+            out.push(run.output.ok()?);
+        }
+    }
+    Some(out)
+}
+
+/// Build the original kernel's output baseline.
+pub(crate) fn baseline(
+    unit: &TranslationUnit,
+    prog: Option<&Program>,
+    cfg: &RepairConfig,
+    fell_back: &mut bool,
+) -> Option<Baseline> {
+    Some(Baseline { obs: observe_all(unit, prog, &cfg.seeds, fell_back)? })
+}
+
+/// Apply an edit list in order; `None` when any edit does not apply
+/// (e.g. an earlier edit removed its target).
+pub(crate) fn apply_edits(unit: &TranslationUnit, edits: &[RepairEdit]) -> Option<TranslationUnit> {
+    let mut u = unit.clone();
+    for e in edits {
+        u = apply_repair(&u, e)?;
+    }
+    Some(u)
+}
+
+/// A candidate that passed all three gates.
+pub(crate) struct Certified {
+    /// The patched kernel, canonically printed.
+    pub code: String,
+    /// The evidence.
+    pub certificate: Certificate,
+}
+
+/// Run the full certification on one applied candidate. `None` when
+/// any gate fails.
+pub(crate) fn certify(
+    base: &Baseline,
+    edits: &[RepairEdit],
+    patched: TranslationUnit,
+    cfg: &RepairConfig,
+    fell_back: &mut bool,
+) -> Option<Certified> {
+    // Gate 1 — static: cheapest, so first.
+    if !racecheck::check(&patched).races.is_empty() {
+        return None;
+    }
+
+    // Gate 2 — dynamic: adversarial sweep over every seed, through the
+    // bytecode fast path (candidates are lowered fresh; they are new
+    // programs, not the cached original).
+    let prog = hbsan::lower(&patched).ok();
+    let sweep =
+        hbsan::check_adversarial_compiled(&patched, prog.as_ref(), &Config::default(), &cfg.seeds)
+            .ok()?;
+    *fell_back |= sweep.fell_back;
+    if sweep.report.has_race() {
+        return None;
+    }
+
+    // Gate 3 — output equivalence under every seed, excluding globals
+    // the patch declares scratch.
+    let scratch: Vec<String> =
+        edits.iter().filter_map(|e| e.scratch_var().map(str::to_string)).collect();
+    let patched_obs = observe_all(&patched, prog.as_ref(), &cfg.seeds, fell_back)?;
+    for (a, b) in base.obs.iter().zip(&patched_obs) {
+        if !obs::equivalent(a, b, &scratch) {
+            return None;
+        }
+    }
+
+    // Recorded evidence (not a gate): the surrogate's verdict on the
+    // patched kernel.
+    let code = print_unit(&patched);
+    let features = llm::CodeFeatures::from_parts(llm::count_tokens(&code), Some(&patched));
+    let surrogate_clean = !llm::feature_verdict(&features, llm::ModelKind::Gpt4);
+
+    Some(Certified {
+        code,
+        certificate: Certificate {
+            racecheck_clean: true,
+            hbsan_seeds: cfg.seeds.clone(),
+            equivalent_seeds: cfg.seeds.clone(),
+            scratch,
+            surrogate_clean,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `sum` ends nonzero, so a patch that corrupts the value (e.g.
+    // privatization zeroing it) cannot sneak past the equivalence gate.
+    const RACY_SUM: &str = "int sum;\nint main() {\n  #pragma omp parallel for\n  for (int i = 0; i < 64; i++) sum += i;\n  return sum;\n}\n";
+
+    fn setup(code: &str) -> (TranslationUnit, Baseline, RepairConfig) {
+        let unit = minic::parse(code).unwrap();
+        let cfg = RepairConfig::default();
+        let mut fb = false;
+        let base = baseline(&unit, None, &cfg, &mut fb).unwrap();
+        (unit, base, cfg)
+    }
+
+    #[test]
+    fn reduction_candidate_certifies() {
+        let (unit, base, cfg) = setup(RACY_SUM);
+        let edits = [RepairEdit::AddReduction { var: "sum".into() }];
+        let patched = apply_edits(&unit, &edits).unwrap();
+        let mut fb = false;
+        let cert = certify(&base, &edits, patched, &cfg, &mut fb).expect("certifies");
+        assert!(cert.certificate.certified(&cfg.seeds));
+        assert!(cert.certificate.scratch.is_empty());
+    }
+
+    #[test]
+    fn identity_equivalence_rejects_wrong_output() {
+        // Privatizing `sum` zeroes it: race-free, but *not* the same
+        // program — AddPrivate marks it scratch, yet the exit value
+        // still differs, so equivalence must reject it.
+        let (unit, base, cfg) = setup(RACY_SUM);
+        let edits = [RepairEdit::AddPrivate { var: "sum".into() }];
+        let patched = apply_edits(&unit, &edits).unwrap();
+        let mut fb = false;
+        assert!(
+            certify(&base, &edits, patched, &cfg, &mut fb).is_none(),
+            "exit value depends on sum; privatization must fail equivalence"
+        );
+    }
+
+    #[test]
+    fn racy_candidate_is_rejected_at_the_static_gate() {
+        // Two racy scalars; protecting only one leaves the other race
+        // in place, so the static gate must reject the half-patch.
+        let (unit, base, cfg) = setup(
+            "int sum; int count;\nint main() {\n  #pragma omp parallel for\n  for (int i = 0; i < 64; i++) {\n    sum += i;\n    count += 1;\n  }\n  return sum + count;\n}\n",
+        );
+        let edits = [RepairEdit::WrapCritical { var: "count".into() }];
+        let patched = apply_edits(&unit, &edits).expect("applies");
+        let mut fb = false;
+        assert!(certify(&base, &edits, patched, &cfg, &mut fb).is_none());
+    }
+
+    #[test]
+    fn inapplicable_edit_fails_application() {
+        let unit = minic::parse(RACY_SUM).unwrap();
+        assert!(apply_edits(&unit, &[RepairEdit::DropNowait]).is_none());
+        // A later edit invalidated by an earlier one also fails whole.
+        assert!(apply_edits(
+            &unit,
+            &[
+                RepairEdit::AddReduction { var: "sum".into() },
+                RepairEdit::DropNowait,
+            ],
+        )
+        .is_none());
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`metrics`] — Prometheus-text counters, gauges, and histograms;
 //! * [`analyze`] — the deterministic kernel → JSON-verdict engine
 //!   (reuses [`llm::AnalyzedKernel`] and xcheck's verdict adapters);
+//! * [`fixer`] — the deterministic kernel → certified-patch engine
+//!   behind `POST /v1/fix` (the `repair` crate's detect → fix → verify
+//!   loop, certificates shipped verbatim);
 //! * [`server`] — acceptor, connection handlers, micro-batching worker
 //!   pool, graceful drain;
 //! * [`loadgen`] — a closed-loop socket-level load generator emitting
@@ -31,6 +34,7 @@
 
 pub mod analyze;
 pub mod cache;
+pub mod fixer;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;

@@ -101,17 +101,21 @@ impl Histogram {
 }
 
 /// Routes with per-status request counters.
-pub const ROUTES: [&str; 4] = ["analyze", "healthz", "metrics", "other"];
+pub const ROUTES: [&str; 5] = ["analyze", "fix", "healthz", "metrics", "other"];
 /// Statuses the service can emit.
 pub const STATUSES: [u16; 12] = [200, 400, 404, 405, 408, 413, 414, 429, 431, 500, 503, 504];
+
+/// Index of the catch-all `other` route (pre-routing errors land here).
+pub const OTHER_ROUTE: usize = ROUTES.len() - 1;
 
 /// Route index for a request target.
 pub fn route_index(target: &str) -> usize {
     match target {
         "/v1/analyze" => 0,
-        "/healthz" => 1,
-        "/metrics" => 2,
-        _ => 3,
+        "/v1/fix" => 1,
+        "/healthz" => 2,
+        "/metrics" => 3,
+        _ => OTHER_ROUTE,
     }
 }
 
@@ -143,6 +147,13 @@ pub struct Metrics {
     /// executor to the AST interpreter (lowering rejected the kernel,
     /// or the executor erred and the interpreter re-ran it).
     pub oracle_fallbacks_total: Counter,
+    /// `POST /v1/fix` requests handled (any status, cache hits
+    /// included).
+    pub fix_requests_total: Counter,
+    /// Certified patches produced by the worker pool (fresh
+    /// computations only — a cache hit replays the body without
+    /// re-certifying).
+    pub fix_certified_total: Counter,
     /// Queue depth after the most recent push/pop.
     pub queue_depth: Gauge,
     /// Micro-batches executed.
@@ -172,6 +183,8 @@ impl Metrics {
             deadline_expired_total: Counter::default(),
             worker_expired_total: Counter::default(),
             oracle_fallbacks_total: Counter::default(),
+            fix_requests_total: Counter::default(),
+            fix_certified_total: Counter::default(),
             queue_depth: Gauge::default(),
             batches_total: Counter::default(),
             batch_size: Histogram::new(&BATCH_BOUNDS),
@@ -226,6 +239,8 @@ impl Metrics {
             ("racellm_deadline_expired_total", &self.deadline_expired_total),
             ("racellm_worker_expired_total", &self.worker_expired_total),
             ("racellm_oracle_fallbacks_total", &self.oracle_fallbacks_total),
+            ("racellm_fix_requests_total", &self.fix_requests_total),
+            ("racellm_fix_certified_total", &self.fix_certified_total),
             ("racellm_batches_total", &self.batches_total),
         ] {
             let _ = writeln!(w, "# TYPE {name} counter\n{name} {}", c.get());
@@ -275,12 +290,17 @@ mod tests {
         m.record(route_index("/v1/analyze"), 200);
         m.record(route_index("/v1/analyze"), 200);
         m.record(route_index("/nope"), 404);
+        m.record(route_index("/v1/fix"), 200);
         assert_eq!(m.requests_get(0, 200), 2);
-        assert_eq!(m.requests_get(3, 404), 1);
-        assert_eq!(m.requests_total(), 3);
+        assert_eq!(m.requests_get(1, 200), 1);
+        assert_eq!(m.requests_get(OTHER_ROUTE, 404), 1);
+        assert_eq!(m.requests_total(), 4);
         let text = m.render(&no_cache());
         assert!(text.contains("racellm_http_requests_total{route=\"analyze\",status=\"200\"} 2"));
+        assert!(text.contains("racellm_http_requests_total{route=\"fix\",status=\"200\"} 1"));
         assert!(text.contains("racellm_http_requests_total{route=\"other\",status=\"404\"} 1"));
+        assert!(text.contains("racellm_fix_requests_total 0"));
+        assert!(text.contains("racellm_fix_certified_total 0"));
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! [`ServerHandle::shutdown`] return.
 
 use crate::cache::ShardedLru;
-use crate::metrics::{route_index, Metrics};
+use crate::metrics::{route_index, Metrics, OTHER_ROUTE};
 use crate::queue::{Bounded, PushError};
-use crate::{analyze, http, ServeConfig};
+use crate::{analyze, fixer, http, ServeConfig};
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,8 +28,28 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One queued analysis request.
+/// What a queued job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Analyze,
+    Fix,
+}
+
+impl JobKind {
+    /// Namespaced cache key: `/v1/analyze` and `/v1/fix` responses for
+    /// the same kernel are distinct entries in the shared LRU (`\0`
+    /// cannot appear in a route prefix, so namespaces cannot collide).
+    fn cache_key(self, code: &str) -> String {
+        match self {
+            JobKind::Analyze => format!("analyze\0{code}"),
+            JobKind::Fix => format!("fix\0{code}"),
+        }
+    }
+}
+
+/// One queued request (analysis or repair).
 struct Job {
+    kind: JobKind,
     code: String,
     deadline: Instant,
     reply: SyncSender<Reply>,
@@ -175,7 +195,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 shared.metrics.connections_total.inc();
                 if shared.conns.count() >= shared.cfg.max_connections {
                     shared.metrics.connections_rejected_total.inc();
-                    shared.metrics.record(3, 503);
+                    shared.metrics.record(OTHER_ROUTE, 503);
                     let mut stream = stream;
                     let _ = http::write_response(
                         &mut stream,
@@ -229,7 +249,7 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
             Err(e) => {
                 shared.metrics.http_parse_errors_total.inc();
                 if let Some((status, msg)) = e.status() {
-                    shared.metrics.record(3, status);
+                    shared.metrics.record(OTHER_ROUTE, status);
                     let _ = http::write_response(
                         &mut writer,
                         status,
@@ -269,25 +289,33 @@ fn handle_request(shared: &Arc<Shared>, w: &mut TcpStream, req: &http::Request) 
             let text = shared.metrics.render(&shared.cache.stats());
             respond(200, "text/plain; version=0.0.4", &[], text.as_bytes())
         }
-        ("POST", "/v1/analyze") => handle_analyze(shared, w, req, keep),
-        (_, "/healthz") | (_, "/metrics") | (_, "/v1/analyze") => respond(
+        ("POST", "/v1/analyze") => handle_submit(shared, w, req, keep, JobKind::Analyze),
+        ("POST", "/v1/fix") => handle_submit(shared, w, req, keep, JobKind::Fix),
+        (_, "/healthz") | (_, "/metrics") | (_, "/v1/analyze") | (_, "/v1/fix") => respond(
             405,
             "application/json",
-            &[("allow", if req.target == "/v1/analyze" { "POST" } else { "GET" }.to_string())],
+            &[(
+                "allow",
+                if req.target.starts_with("/v1/") { "POST" } else { "GET" }.to_string(),
+            )],
             http::error_body("method not allowed").as_bytes(),
         ),
         _ => respond(404, "application/json", &[], http::error_body("no such route").as_bytes()),
     }
 }
 
-fn handle_analyze(
+fn handle_submit(
     shared: &Arc<Shared>,
     w: &mut TcpStream,
     req: &http::Request,
     keep: bool,
+    kind: JobKind,
 ) -> bool {
     let t0 = Instant::now();
-    let route = route_index("/v1/analyze");
+    let route = route_index(&req.target);
+    if kind == JobKind::Fix {
+        shared.metrics.fix_requests_total.inc();
+    }
     let mut respond = |status: u16, extra: &[(&str, String)], body: &[u8]| -> bool {
         shared.metrics.record(route, status);
         shared.metrics.request_seconds.observe(t0.elapsed().as_secs_f64());
@@ -309,7 +337,7 @@ fn handle_analyze(
     };
 
     // Cache hit: serve inline, no queue round-trip.
-    if let Some(body) = shared.cache.get(&wire.code) {
+    if let Some(body) = shared.cache.get(&kind.cache_key(&wire.code)) {
         return respond(200, &[], body.as_bytes());
     }
 
@@ -321,7 +349,7 @@ fn handle_analyze(
     let deadline = t0 + Duration::from_millis(deadline_ms);
 
     let (tx, rx) = mpsc::sync_channel(1);
-    match shared.queue.try_push(Job { code: wire.code, deadline, reply: tx }) {
+    match shared.queue.try_push(Job { kind, code: wire.code, deadline, reply: tx }) {
         Err(PushError::Full(_)) => {
             shared.metrics.queue_rejected_total.inc();
             return respond(
@@ -370,16 +398,25 @@ fn worker_loop(shared: &Arc<Shared>) -> usize {
             continue;
         }
 
-        let codes: Vec<&str> = live.iter().map(|j| j.code.as_str()).collect();
-        let fan = cfg.batch_parallelism.clamp(1, codes.len());
-        let bodies = par::par_map(&codes, fan, |c| analyze::response_body_traced(c));
+        let work: Vec<(JobKind, &str)> = live.iter().map(|j| (j.kind, j.code.as_str())).collect();
+        let fan = cfg.batch_parallelism.clamp(1, work.len());
+        let bodies = par::par_map(&work, fan, |(kind, c)| match kind {
+            JobKind::Analyze => {
+                let (body, fell_back) = analyze::response_body_traced(c);
+                (body, fell_back, false)
+            }
+            JobKind::Fix => fixer::fix_body_traced(c),
+        });
 
-        for (job, (body, fell_back)) in live.iter().zip(bodies) {
+        for (job, (body, fell_back, certified)) in live.iter().zip(bodies) {
             if fell_back {
                 shared.metrics.oracle_fallbacks_total.inc();
             }
+            if certified {
+                shared.metrics.fix_certified_total.inc();
+            }
             let body: Arc<str> = Arc::from(body);
-            shared.cache.insert(&job.code, Arc::clone(&body));
+            shared.cache.insert(&job.kind.cache_key(&job.code), Arc::clone(&body));
             processed += 1;
             let _ = job.reply.try_send(Reply::Body(body));
         }

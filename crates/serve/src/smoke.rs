@@ -8,7 +8,9 @@
 //! violated invariant returns `Err` with the failing check named.
 
 use crate::analyze::{AnalyzeRequest, AnalyzeResponse};
+use crate::fixer::FixResponse;
 use crate::http::client::Client;
+use crate::metrics::OTHER_ROUTE;
 use crate::server::{start, ServerHandle};
 use crate::ServeConfig;
 use std::fmt::Write as _;
@@ -16,6 +18,7 @@ use std::time::Duration;
 
 const RACY: &str = "int a[64];\nint main() {\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 61; i++) {\n    a[i] = a[i + 1] + 1;\n  }\n  return 0;\n}\n";
 const FRESH: &str = "int y[32];\nint main() {\n  int i;\n  #pragma omp parallel for\n  for (i = 0; i < 32; i++) {\n    y[i] = i;\n  }\n  return 0;\n}\n";
+const RACY_SUM: &str = "int sum;\nint main() {\n  #pragma omp parallel for\n  for (int i = 0; i < 64; i++) sum += i;\n  return sum;\n}\n";
 
 fn ensure(ok: bool, what: &str) -> Result<(), String> {
     if ok {
@@ -25,17 +28,26 @@ fn ensure(ok: bool, what: &str) -> Result<(), String> {
     }
 }
 
-fn post_analyze(
+fn post_json(
     client: &mut Client,
+    target: &str,
     code: &str,
     headers: &[(&str, String)],
 ) -> Result<(u16, String), String> {
     let body = serde_json::to_string(&AnalyzeRequest { code: code.to_string() })
         .expect("request serializes");
     let (status, bytes) = client
-        .request("POST", "/v1/analyze", headers, body.as_bytes())
-        .map_err(|e| format!("analyze request failed: {e}"))?;
+        .request("POST", target, headers, body.as_bytes())
+        .map_err(|e| format!("{target} request failed: {e}"))?;
     Ok((status, String::from_utf8_lossy(&bytes).into_owned()))
+}
+
+fn post_analyze(
+    client: &mut Client,
+    code: &str,
+    headers: &[(&str, String)],
+) -> Result<(u16, String), String> {
+    post_json(client, "/v1/analyze", code, headers)
 }
 
 fn run_mix(h: &ServerHandle, out: &mut String) -> Result<(), String> {
@@ -71,14 +83,28 @@ fn run_mix(h: &ServerHandle, out: &mut String) -> Result<(), String> {
         post_analyze(&mut client, FRESH, &[("x-racellm-deadline-ms", "0".to_string())])?;
     ensure(status == 504, "zero-deadline analyze returns 504")?;
 
-    // 5. Malformed request on a fresh connection (the server closes it).
+    // 5. Certified repair: cold fix of a racy reduction, then a warm
+    //    repeat that must be a byte-identical cache hit.
+    let (status, cold_fix) = post_json(&mut client, "/v1/fix", RACY_SUM, &[])?;
+    ensure(status == 200, "cold fix returns 200")?;
+    let parsed: FixResponse =
+        serde_json::from_str(&cold_fix).map_err(|e| format!("fix response not JSON: {e}"))?;
+    ensure(parsed.outcome == "fixed", "racy sum kernel gets fixed")?;
+    let wire_fix = parsed.fix.ok_or("fix block missing from fixed response")?;
+    ensure(wire_fix.patch.contains("reduction(+: sum)"), "patch adds the reduction clause")?;
+    ensure(wire_fix.certificate.racecheck_clean, "certificate claims racecheck clean")?;
+    let (status, warm_fix) = post_json(&mut client, "/v1/fix", RACY_SUM, &[])?;
+    ensure(status == 200, "warm fix returns 200")?;
+    ensure(warm_fix == cold_fix, "warm fix byte-identical to cold")?;
+
+    // 6. Malformed request on a fresh connection (the server closes it).
     let mut bad =
         Client::connect(h.addr(), timeout).map_err(|e| format!("connect failed: {e}"))?;
     bad.send_raw(b"THIS IS NOT HTTP\r\n\r\n").map_err(|e| format!("send garbage: {e}"))?;
     let (status, _) = bad.read_response().map_err(|e| format!("garbage response: {e}"))?;
     ensure(status == 400, "malformed request line returns 400")?;
 
-    // 6. Metrics deltas, scraped over HTTP like a real Prometheus.
+    // 7. Metrics deltas, scraped over HTTP like a real Prometheus.
     let (status, text) =
         client.request("GET", "/metrics", &[], b"").map_err(|e| format!("metrics: {e}"))?;
     ensure(status == 200, "metrics returns 200")?;
@@ -86,22 +112,33 @@ fn run_mix(h: &ServerHandle, out: &mut String) -> Result<(), String> {
     let m = h.metrics();
     ensure(m.requests_get(0, 200) == 2, "two analyze 200s recorded")?;
     ensure(m.requests_get(0, 504) == 1, "one analyze 504 recorded")?;
+    ensure(m.requests_get(1, 200) == 2, "two fix 200s recorded")?;
+    ensure(m.fix_requests_total.get() == 2, "fix request counter moved twice")?;
+    ensure(m.fix_certified_total.get() == 1, "exactly one fresh certification (hit replays)")?;
     ensure(m.deadline_expired_total.get() == 1, "deadline counter moved")?;
     ensure(m.http_parse_errors_total.get() == 1, "parse-error counter moved")?;
-    ensure(m.requests_get(3, 400) == 1, "one 400 recorded")?;
+    ensure(m.requests_get(OTHER_ROUTE, 400) == 1, "one 400 recorded")?;
     ensure(m.batches_total.get() >= 1, "worker pool executed a batch")?;
     ensure(
         text.contains("racellm_http_requests_total{route=\"analyze\",status=\"200\"} 2"),
         "exposition text carries the analyze counter",
     )?;
     ensure(
-        text.contains("racellm_cache_hits_total 1"),
-        "exposition text carries the cache hit",
+        text.contains("racellm_http_requests_total{route=\"fix\",status=\"200\"} 2"),
+        "exposition text carries the fix counter",
+    )?;
+    ensure(
+        text.contains("racellm_fix_certified_total 1"),
+        "exposition text carries the certification counter",
+    )?;
+    ensure(
+        text.contains("racellm_cache_hits_total 2"),
+        "exposition text carries both cache hits",
     )?;
 
     let _ = writeln!(
         out,
-        "serve smoke ok: healthz + 2 analyze (1 cached, byte-identical) + 504 deadline + 400 malformed on {}",
+        "serve smoke ok: healthz + 2 analyze + 2 fix (cached repeats byte-identical) + 504 deadline + 400 malformed on {}",
         h.addr()
     );
     Ok(())

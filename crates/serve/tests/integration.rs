@@ -198,3 +198,53 @@ fn per_request_deadline_and_drain_under_load() {
     let report = handle.shutdown();
     assert_eq!(report.jobs_leftover, 0);
 }
+
+#[test]
+fn fix_route_serves_certified_patches_with_byte_identical_hits() {
+    let handle = server::start(test_config()).unwrap();
+    let addr = handle.addr();
+
+    let racy = "int sum;\nint main() {\n  #pragma omp parallel for\n  for (int i = 0; i < 64; i++) sum += i;\n  return sum;\n}\n";
+    let expected = serve::fixer::fix_body(racy);
+    let body = serde_json::to_string(&serde_json::json!({ "code": racy })).unwrap();
+
+    let mut client = Client::connect(addr, Duration::from_secs(30)).unwrap();
+    let (status, cold) = client.request("POST", "/v1/fix", &[], body.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(std::str::from_utf8(&cold).unwrap(), expected, "served fix diverges from direct invocation");
+    let (status, warm) = client.request("POST", "/v1/fix", &[], body.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(warm, cold, "cache hit must be byte-identical");
+
+    // The same kernel analyzed and fixed must occupy distinct cache
+    // entries (namespaced keys), and the patch must replay green.
+    let (status, _) = client.request("POST", "/v1/analyze", &[], body.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(handle.cache().len(), 2, "analyze and fix responses are separate entries");
+
+    let resp: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&cold).unwrap()).unwrap();
+    let patched = resp
+        .get("fix")
+        .and_then(|f| f.get("patched_code"))
+        .and_then(serde_json::Value::as_str)
+        .expect("patched code on the wire");
+    let unit = minic::parse(patched).expect("patched kernel parses");
+    assert!(racecheck::check(&unit).races.is_empty(), "wire patch must replay racecheck-clean");
+
+    // Counters: two fix requests, one fresh certification (the warm
+    // repeat was a cache hit), wrong-method guard on the new route.
+    let (status, _) = client.request("GET", "/v1/fix", &[], b"").unwrap();
+    assert_eq!(status, 405);
+    let m = handle.metrics();
+    assert_eq!(m.fix_requests_total.get(), 2);
+    assert_eq!(m.fix_certified_total.get(), 1);
+    let text = handle.render_metrics();
+    assert!(text.contains("racellm_http_requests_total{route=\"fix\",status=\"200\"} 2"));
+    assert!(text.contains("racellm_http_requests_total{route=\"fix\",status=\"405\"} 1"));
+    assert!(text.contains("racellm_fix_requests_total 2"));
+    assert!(text.contains("racellm_fix_certified_total 1"));
+
+    let report = handle.shutdown();
+    assert_eq!(report.jobs_leftover, 0);
+}

@@ -31,12 +31,14 @@
 
 pub mod gen;
 pub mod mutate;
+pub mod patch;
 pub mod report;
 pub mod shrink;
 pub mod verdict;
 
 pub use gen::{generate, GenKernel, Pattern, SyncKind};
 pub use mutate::{apply_flip, apply_sem, FlipMutation, SemMutation};
+pub use patch::{apply_repair, RepairEdit};
 pub use report::render_report;
 pub use shrink::{reproduces, shrink};
 pub use verdict::{verdicts_of_code, verdicts_of_unit, Verdicts, DEFAULT_SEEDS};

@@ -176,7 +176,7 @@ pub fn apply_flip(unit: &TranslationUnit, m: FlipMutation) -> Option<Translation
 
 /// Visit every directive in the unit mutably (statement pragmas and
 /// file-scope pragmas alike).
-fn for_each_directive_mut(unit: &mut TranslationUnit, f: &mut dyn FnMut(&mut Directive)) {
+pub(crate) fn for_each_directive_mut(unit: &mut TranslationUnit, f: &mut dyn FnMut(&mut Directive)) {
     fn stmt(s: &mut Stmt, f: &mut dyn FnMut(&mut Directive)) {
         match s {
             Stmt::Omp { dir, body, .. } => {
